@@ -1,0 +1,61 @@
+// Reproduces Figure 7a: SALO's speedup over CPU (Xeon E5-2630 v3) and GPU
+// (GTX 1080Ti) on the three attention-layer workloads.
+//
+// SALO latency: our cycle model (validated against the cycle-accurate
+// simulator by the test suite) at 1 GHz. Baseline latencies: the calibrated
+// analytic CPU/GPU models (see DESIGN.md substitutions). Paper values are
+// printed alongside for shape comparison.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/baseline.hpp"
+#include "model/salo_model.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace salo;
+    const SaloConfig config;
+    const auto cpu = xeon_e5_2630_v3();
+    const auto gpu = gtx_1080ti();
+
+    struct PaperRow {
+        const char* name;
+        double cpu_speedup;
+        double gpu_speedup;
+    };
+    const PaperRow paper[] = {{"Longformer", 83.57, 7.38},
+                              {"ViL-stage1", 83.12, 20.10},
+                              {"ViL-stage2", 101.31, 25.51}};
+
+    std::cout << "=== Figure 7a: speedup of SALO vs CPU and GPU ===\n\n";
+    AsciiTable table({"Workload", "SALO (ms)", "CPU (ms)", "GPU (ms)", "CPU speedup",
+                      "paper", "GPU speedup", "paper"});
+    AsciiBarChart cpu_chart("CPU speedup (ours)");
+    AsciiBarChart gpu_chart("GPU speedup (ours)");
+    double cpu_sum = 0.0, gpu_sum = 0.0;
+    const auto workloads = paper_workloads();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& w = workloads[i];
+        const double salo_ms = estimate_layer(w, config).latency_ms;
+        const double cpu_ms = sparse_attention_ms(cpu, w).total_ms();
+        const double gpu_ms = sparse_attention_ms(gpu, w).total_ms();
+        const double cpu_speedup = cpu_ms / salo_ms;
+        const double gpu_speedup = gpu_ms / salo_ms;
+        cpu_sum += cpu_speedup;
+        gpu_sum += gpu_speedup;
+        table.add_row({w.name, fmt(salo_ms, 3), fmt(cpu_ms, 1), fmt(gpu_ms, 1),
+                       fmt(cpu_speedup, 2) + "x", fmt(paper[i].cpu_speedup, 2) + "x",
+                       fmt(gpu_speedup, 2) + "x", fmt(paper[i].gpu_speedup, 2) + "x"});
+        cpu_chart.add(w.name, cpu_speedup);
+        gpu_chart.add(w.name, gpu_speedup);
+    }
+    const double n = static_cast<double>(workloads.size());
+    table.add_row({"Average", "-", "-", "-", fmt(cpu_sum / n, 2) + "x", "89.33x",
+                   fmt(gpu_sum / n, 2) + "x", "17.66x"});
+    table.print();
+    std::cout << "\n";
+    cpu_chart.print();
+    std::cout << "\n";
+    gpu_chart.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 7b: energy saving of SALO vs CPU and GPU.
+//
+// SALO energy: synthesis-model power (Table 1: ~533 mW) x cycle-model
+// latency. Baseline energy: implied per-workload device powers (inverted
+// from the paper's Figure 7a/7b pairs; see DESIGN.md) x modeled latencies.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/energy.hpp"
+
+int main() {
+    using namespace salo;
+    const SaloConfig config;
+    const auto cpu = xeon_e5_2630_v3();
+    const auto gpu = gtx_1080ti();
+
+    struct PaperRow {
+        const char* name;
+        double cpu_saving;
+        double gpu_saving;
+    };
+    const PaperRow paper[] = {{"Longformer", 196.90, 336.05},
+                              {"ViL-stage1", 187.53, 281.29},
+                              {"ViL-stage2", 167.15, 198.78}};
+
+    std::cout << "=== Figure 7b: energy saving of SALO vs CPU and GPU ===\n";
+    std::cout << "(SALO power from the synthesis model: "
+              << fmt(synthesize(config.geometry).total_power_w() * 1000.0, 2)
+              << " mW)\n\n";
+    AsciiTable table({"Workload", "SALO E (mJ)", "CPU E (mJ)", "GPU E (mJ)",
+                      "CPU saving", "paper", "GPU saving", "paper"});
+    AsciiBarChart cpu_chart("Energy saving vs CPU (ours)");
+    AsciiBarChart gpu_chart("Energy saving vs GPU (ours)");
+    double cpu_sum = 0.0, gpu_sum = 0.0;
+    const auto workloads = paper_workloads();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& w = workloads[i];
+        const auto vs_cpu = compare_energy(w, cpu, config);
+        const auto vs_gpu = compare_energy(w, gpu, config);
+        cpu_sum += vs_cpu.energy_saving();
+        gpu_sum += vs_gpu.energy_saving();
+        table.add_row({w.name, fmt(vs_cpu.salo_energy_mj(), 4),
+                       fmt(vs_cpu.device_energy_mj(), 2),
+                       fmt(vs_gpu.device_energy_mj(), 2),
+                       fmt(vs_cpu.energy_saving(), 2) + "x",
+                       fmt(paper[i].cpu_saving, 2) + "x",
+                       fmt(vs_gpu.energy_saving(), 2) + "x",
+                       fmt(paper[i].gpu_saving, 2) + "x"});
+        cpu_chart.add(w.name, vs_cpu.energy_saving());
+        gpu_chart.add(w.name, vs_gpu.energy_saving());
+    }
+    const double n = static_cast<double>(workloads.size());
+    table.add_row({"Average", "-", "-", "-", fmt(cpu_sum / n, 2) + "x", "183.86x",
+                   fmt(gpu_sum / n, 2) + "x", "272.04x"});
+    table.print();
+    std::cout << "\n";
+    cpu_chart.print();
+    std::cout << "\n";
+    gpu_chart.print();
+    return 0;
+}

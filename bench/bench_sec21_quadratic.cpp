@@ -1,0 +1,67 @@
+// Reproduces the §2.1 motivation experiment: the latency of one dense
+// attention layer grows quadratically with sequence length.
+//
+// Two views are printed:
+//   * MEASURED — our own float dense-attention implementation timed on the
+//     host CPU (the quadratic-growth claim is platform-independent);
+//   * MODELED — the calibrated GTX-1080Ti model, whose anchors are the
+//     paper's own measurements (9.20 ms at n=2048, 145.70 ms at n=8192).
+#include <chrono>
+#include <iostream>
+
+#include "attention/golden.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/baseline.hpp"
+
+namespace {
+
+double measure_dense_ms(int n, int d, int heads) {
+    using clock = std::chrono::steady_clock;
+    salo::Rng rng(42);
+    const auto q = salo::random_matrix(n, d, rng);
+    const auto k = salo::random_matrix(n, d, rng);
+    const auto v = salo::random_matrix(n, d, rng);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    // One warm-up head, then time `heads` heads (a full layer).
+    (void)salo::dense_attention(q, k, v, scale);
+    const auto start = clock::now();
+    for (int h = 0; h < heads; ++h) (void)salo::dense_attention(q, k, v, scale);
+    const auto stop = clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+    using namespace salo;
+    std::cout << "=== Section 2.1: quadratic latency growth of dense attention ===\n\n";
+
+    std::cout << "--- Measured on this host (our float implementation, 4 heads, d=64) ---\n\n";
+    AsciiTable measured({"n", "latency (ms)", "ratio vs previous n"});
+    double prev = 0.0;
+    for (int n : {64, 128, 256, 512}) {
+        const double ms = measure_dense_ms(n, 64, 4);
+        measured.add_row({std::to_string(n), fmt(ms, 2),
+                          prev > 0.0 ? fmt(ms / prev, 2) + "x" : "-"});
+        prev = ms;
+    }
+    measured.print();
+    std::cout << "(doubling n should roughly quadruple latency)\n\n";
+
+    std::cout << "--- Modeled GTX-1080Ti (paper anchors: 9.20 ms @2048, 145.70 ms @8192) ---\n\n";
+    const auto gpu = gtx_1080ti();
+    AsciiTable modeled({"n", "latency (ms)", "paper"});
+    for (int n : {512, 1024, 2048, 4096, 8192}) {
+        std::string paper = "-";
+        if (n == 2048) paper = "9.20";
+        if (n == 8192) paper = "145.70";
+        modeled.add_row({std::to_string(n), fmt(dense_attention_ms(gpu, n, 768), 2), paper});
+    }
+    modeled.print();
+    const double ratio =
+        dense_attention_ms(gpu, 8192, 768) / dense_attention_ms(gpu, 2048, 768);
+    std::cout << "\nn=8192 vs n=2048 ratio: " << fmt(ratio, 2)
+              << "x (paper: ~16x quadratic growth)\n";
+    return 0;
+}

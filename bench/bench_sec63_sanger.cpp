@@ -1,0 +1,50 @@
+// Reproduces the §6.3 comparison with Sanger: equal PE count (1024) and
+// frequency; Sanger pays a quadratic low-precision prediction pass and runs
+// the surviving irregular pattern at 55-75 % utilization, while SALO's
+// static hybrid patterns need no prediction and sustain higher utilization.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/salo_model.hpp"
+#include "model/sanger.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace salo;
+    const SaloConfig config;
+    const SangerConfig sanger_config;  // 64x16, auto utilization
+
+    std::cout << "=== Section 6.3: comparison with Sanger ===\n\n";
+    AsciiTable table({"Workload", "Sanger predict (ms)", "Sanger attn (ms)",
+                      "Sanger total (ms)", "SALO (ms)", "Speedup", "paper"});
+    double sum = 0.0;
+    for (const auto& w : paper_workloads()) {
+        const auto sanger = sanger_estimate(sanger_config, w);
+        const auto salo = estimate_layer(w, config);
+        const double speedup = sanger.latency_ms(1.0) / salo.latency_ms;
+        sum += speedup;
+        table.add_row({w.name, fmt(sanger.prediction_cycles / 1e6, 3),
+                       fmt(sanger.attention_cycles / 1e6, 3),
+                       fmt(sanger.latency_ms(1.0), 3), fmt(salo.latency_ms, 3),
+                       fmt(speedup, 2) + "x", w.name == std::string("Longformer")
+                                                  ? "1.33x"
+                                                  : "-"});
+    }
+    table.add_row({"Average", "-", "-", "-", "-", fmt(sum / 3.0, 2) + "x", "-"});
+    table.print();
+
+    std::cout << "\n--- PE utilization vs sparsity (paper: Sanger 55-75 %, SALO >75 %) ---\n\n";
+    AsciiTable util({"Workload", "Sparsity", "Sanger utilization", "SALO occupancy"});
+    for (const auto& w : paper_workloads()) {
+        const auto plan = schedule(w.pattern, config.geometry, w.head_dim,
+                                   config.schedule_options);
+        util.add_row({w.name, fmt(w.pattern.sparsity(), 3),
+                      fmt(sanger_utilization(w.pattern.sparsity()) * 100.0, 1) + "%",
+                      fmt(plan.stats.slot_occupancy() * 100.0, 1) + "%"});
+    }
+    util.print();
+
+    std::cout << "\nNote: Sanger's prediction pass is quadratic in n regardless of\n"
+                 "sparsity, which is what degrades it on long sequences (n=4096).\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table 1: hardware parameters and the synthesis report.
+//
+// The paper synthesizes Chisel-generated Verilog with Synopsys DC at
+// FreePDK 45 nm; offline we reproduce the report from a calibrated
+// component-level model (see DESIGN.md substitutions). The breakdown also
+// powers the array-size ablation in bench_ablation.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/synthesis.hpp"
+
+int main() {
+    using namespace salo;
+    const ArrayGeometry geometry;  // the paper's configuration
+
+    std::cout << "=== Table 1: Synthesis details ===\n\n";
+    AsciiTable params({"Hardware Parameter", "Value"});
+    params.add_row({"PE array size", std::to_string(geometry.rows) + " x " +
+                                         std::to_string(geometry.cols)});
+    params.add_row({"Global PE column", std::to_string(geometry.num_global_cols)});
+    params.add_row({"Global PE row", std::to_string(geometry.num_global_rows)});
+    params.add_row({"Weighted Sum Module",
+                    std::to_string(geometry.rows + geometry.num_global_rows)});
+    params.add_row({"Query Buffer", std::to_string(geometry.query_buffer_bytes / 1024) + "KB"});
+    params.add_row({"Key Buffer", std::to_string(geometry.key_buffer_bytes / 1024) + "KB"});
+    params.add_row({"Value Buffer", std::to_string(geometry.value_buffer_bytes / 1024) + "KB"});
+    params.add_row({"Output Buffer", std::to_string(geometry.output_buffer_bytes / 1024) + "KB"});
+    params.print();
+
+    const auto report = synthesize(geometry);
+    std::cout << "\n--- Synthesis report (component model) ---\n\n";
+    AsciiTable comp({"Component", "Count", "Area (mm^2)", "Power (mW)"});
+    for (const auto& c : report.components)
+        comp.add_row({c.name, std::to_string(c.count), fmt(c.area_mm2, 3),
+                      fmt(c.power_mw, 2)});
+    comp.print();
+
+    std::cout << "\n";
+    AsciiTable totals({"Metric", "Ours", "Paper"});
+    totals.add_row({"Frequency", fmt(report.frequency_ghz, 1) + " GHz", "1 GHz"});
+    totals.add_row({"Power", fmt(report.total_power_mw(), 2) + " mW", "532.66 mW"});
+    totals.add_row({"Area", fmt(report.total_area_mm2(), 2) + " mm^2", "4.56 mm^2"});
+    totals.print();
+    return 0;
+}

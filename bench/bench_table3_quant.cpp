@@ -1,0 +1,77 @@
+// Reproduces Table 3: impact of SALO's quantization (Q3.4 inputs, 16-bit
+// outputs) on downstream accuracy.
+//
+// The paper fine-tunes Longformer on IMDB/Hyperpartisan and ViL on
+// ImageNet-1K; offline we use synthetic classification stand-ins that
+// exercise the same error path (see DESIGN.md substitutions). Difficulty is
+// set so the Original accuracies resemble the paper's rows; the claim under
+// test is that the Quantized column matches the Original column.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "workload/quant_study.hpp"
+
+int main() {
+    using namespace salo;
+    SaloConfig config;
+    config.geometry.rows = 16;
+    config.geometry.cols = 16;
+
+    struct Dataset {
+        QuantStudyConfig study;
+        double paper_original;
+        double paper_quantized;
+    };
+    std::vector<Dataset> datasets;
+    {
+        QuantStudyConfig s;  // stand-in for Longformer/IMDB (95.34 / 95.20)
+        s.name = "IMDB (synthetic stand-in)";
+        s.n = 192;
+        s.window = 32;
+        s.head_dim = 32;
+        s.num_classes = 2;
+        s.confuser_prob = 0.84;
+        s.num_samples = 400;
+        s.seed = 101;
+        datasets.push_back({s, 95.34, 95.20});
+    }
+    {
+        QuantStudyConfig s;  // stand-in for Longformer/Hyperpartisan (93.42 / 93.46)
+        s.name = "Hyperpartisan (synthetic stand-in)";
+        s.n = 256;
+        s.window = 32;
+        s.head_dim = 32;
+        s.num_classes = 2;
+        s.confuser_prob = 0.87;
+        s.num_samples = 400;
+        s.seed = 202;
+        datasets.push_back({s, 93.42, 93.46});
+    }
+    {
+        QuantStudyConfig s;  // stand-in for ViL/ImageNet-1K (82.87 / 82.80)
+        s.name = "ImageNet-1K (synthetic stand-in)";
+        s.n = 144;
+        s.window = 24;
+        s.head_dim = 32;
+        s.num_classes = 8;
+        s.confuser_prob = 0.78;
+        s.num_samples = 400;
+        s.seed = 303;
+        datasets.push_back({s, 82.87, 82.80});
+    }
+
+    std::cout << "=== Table 3: original vs quantized model accuracy ===\n\n";
+    AsciiTable table({"Dataset", "Original (ours)", "Quantized (ours)", "Delta",
+                      "Original (paper)", "Quantized (paper)"});
+    for (const auto& ds : datasets) {
+        const auto result = run_quant_study(ds.study, config);
+        table.add_row({ds.study.name, fmt(result.accuracy_original, 2),
+                       fmt(result.accuracy_quantized, 2), fmt(result.delta(), 2),
+                       fmt(ds.paper_original, 2), fmt(ds.paper_quantized, 2)});
+    }
+    table.print();
+    std::cout << "\nClaim under test: quantization deltas stay within a few tenths\n"
+                 "of a point, matching the paper's conclusion that SALO's fixed-point\n"
+                 "datapath does not degrade accuracy.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+// End-to-end transformer encoder with SALO-accelerated attention.
+//
+// Builds a 2-layer Longformer-style encoder (paper Fig. 1: attention +
+// Add&Norm + FFN + Add&Norm), runs it once with the float golden attention
+// and once with the bit-accurate fixed-point accelerator, and reports the
+// divergence plus the accelerator work per layer.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/salo.hpp"
+#include "transformer/encoder.hpp"
+
+int main() {
+    using namespace salo;
+
+    const int n = 128;        // sequence length
+    const int hidden = 64;    // model width
+    const int heads = 4;      // 16-dim heads
+    const int layers = 2;
+    const HybridPattern pattern = longformer(n, /*w=*/16, /*num_global=*/1);
+
+    Rng rng(2024);
+    Encoder encoder(layers, hidden, heads, /*intermediate=*/4 * hidden, pattern, rng);
+    const Matrix<float> input = random_matrix(n, hidden, rng, 0.0, 0.5);
+
+    std::cout << "=== Transformer encoder on SALO ===\n"
+              << layers << " layers, n=" << n << ", hidden=" << hidden << ", "
+              << heads << " heads, window 16 + 1 global token\n\n";
+
+    const SaloEngine accelerated;                 // fixed-point simulation
+    SaloConfig golden_cfg;
+    golden_cfg.fidelity = Fidelity::kGolden;
+    const SaloEngine oracle(golden_cfg);          // float attention
+
+    SimStats stats;
+    const Matrix<float> out_accel = encoder.forward(input, accelerated, &stats);
+    const Matrix<float> out_gold = encoder.forward(input, oracle);
+
+    AsciiTable table({"Metric", "Value"});
+    table.add_row({"max |accelerated - golden|",
+                   fmt(max_abs_diff(out_accel, out_gold), 4)});
+    table.add_row({"attention cycles (all layers/heads)",
+                   std::to_string(stats.cycles)});
+    table.add_row({"tiles executed", std::to_string(stats.tiles)});
+    table.add_row({"attention latency @1GHz", fmt(stats.latency_ms(1.0), 4) + " ms"});
+    table.add_row({"PE occupancy", fmt(stats.activity.occupancy(), 3)});
+    table.print();
+
+    std::cout << "\nThe hardware output is gathered per head, projected, and flows\n"
+                 "into the FFN — the integration path described in paper Section 3.\n";
+    return 0;
+}

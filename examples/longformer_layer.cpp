@@ -1,0 +1,59 @@
+// Longformer-Base-4096 attention layer on SALO (the paper's NLP workload).
+//
+// Demonstrates the two ways to work with a full-size workload:
+//   * the analytic cycle model for the real 4096-token layer (instant), and
+//   * a bit-accurate functional simulation of a scaled-down slice, verified
+//     against the golden model.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/salo.hpp"
+#include "model/baseline.hpp"
+#include "model/salo_model.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace salo;
+
+    std::cout << "=== Longformer-Base-4096 on SALO ===\n\n";
+    const AttentionWorkload workload = longformer_base_4096();
+    const SaloConfig config;  // the paper's 32x32 geometry
+
+    // --- Full-size layer through the analytic model -----------------------
+    const auto estimate = estimate_layer(workload, config);
+    AsciiTable table({"Metric", "Value"});
+    table.add_row({"sequence length", std::to_string(workload.n())});
+    table.add_row({"window size", std::to_string(workload.window)});
+    table.add_row({"heads x head_dim",
+                   std::to_string(workload.heads) + " x " +
+                       std::to_string(workload.head_dim)});
+    table.add_row({"tiles per head", std::to_string(estimate.schedule.total_tiles())});
+    table.add_row({"PE occupancy", fmt(estimate.schedule.slot_occupancy(), 3)});
+    table.add_row({"layer latency @1GHz", fmt(estimate.latency_ms, 3) + " ms"});
+    const auto gpu = gtx_1080ti();
+    const auto cpu = xeon_e5_2630_v3();
+    table.add_row({"modeled GTX-1080Ti latency",
+                   fmt(sparse_attention_ms(gpu, workload).total_ms(), 1) + " ms"});
+    table.add_row({"modeled Xeon latency",
+                   fmt(sparse_attention_ms(cpu, workload).total_ms(), 1) + " ms"});
+    table.print();
+
+    // --- Scaled-down slice, bit-accurately simulated ----------------------
+    std::cout << "\nBit-accurate simulation of a scaled-down slice "
+                 "(n=256, w=32, 2 heads):\n";
+    const AttentionWorkload small = longformer_small(256, 32, 2, 64, 1);
+    const QkvSet qkv = make_qkv(small, /*seed=*/11);
+    const SaloEngine engine(config);
+    const LayerResult run = engine.run(small.pattern, qkv.q, qkv.k, qkv.v, small.scale());
+
+    double worst = 0.0;
+    for (int h = 0; h < small.heads; ++h) {
+        const auto golden =
+            SaloEngine::golden(small.pattern, qkv.q[h], qkv.k[h], qkv.v[h], small.scale());
+        worst = std::max(worst, max_abs_diff(run.output[h], golden));
+    }
+    std::cout << "  max |SALO - golden| over " << small.heads << " heads: " << worst
+              << "\n  simulated cycles: " << run.stats.cycles
+              << "  (occupancy " << fmt(run.schedule.slot_occupancy(), 3) << ")\n";
+    return 0;
+}

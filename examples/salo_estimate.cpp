@@ -1,0 +1,79 @@
+// salo_estimate: command-line what-if tool for SALO deployments.
+//
+// Usage:
+//   salo_estimate <n> <window> <heads> <head_dim> [globals=1] [rows=32] [cols=32]
+//
+// Prints the schedule, cycle profile, latency, synthesis estimate and
+// modeled CPU/GPU speedups for a Longformer-style workload of that shape —
+// the sizing loop a deployment engineer would run before committing to an
+// array geometry.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/baseline.hpp"
+#include "model/salo_model.hpp"
+#include "model/synthesis.hpp"
+#include "sim/trace.hpp"
+#include "workload/workloads.hpp"
+
+int main(int argc, char** argv) {
+    using namespace salo;
+    if (argc < 5) {
+        std::cerr << "usage: salo_estimate <n> <window> <heads> <head_dim>"
+                     " [globals=1] [rows=32] [cols=32]\n"
+                     "e.g.:  salo_estimate 4096 512 12 64 1 32 32   (Longformer-Base)\n";
+        return 1;
+    }
+    const int n = std::atoi(argv[1]);
+    const int window = std::atoi(argv[2]);
+    const int heads = std::atoi(argv[3]);
+    const int head_dim = std::atoi(argv[4]);
+    const int globals = argc > 5 ? std::atoi(argv[5]) : 1;
+    SaloConfig config;
+    if (argc > 6) config.geometry.rows = std::atoi(argv[6]);
+    if (argc > 7) config.geometry.cols = std::atoi(argv[7]);
+
+    if (n < 1 || window < 1 || heads < 1 || head_dim < 1 || globals < 0) {
+        std::cerr << "all sizes must be positive\n";
+        return 1;
+    }
+
+    const AttentionWorkload workload =
+        longformer_small(n, window, heads, head_dim, globals);
+    const auto estimate = estimate_layer(workload, config);
+    const auto synth = synthesize(config.geometry);
+
+    std::cout << "=== SALO estimate: n=" << n << " w=" << window << " heads=" << heads
+              << " d=" << head_dim << " globals=" << globals << " array "
+              << config.geometry.rows << "x" << config.geometry.cols << " ===\n\n";
+
+    AsciiTable table({"Metric", "Value"});
+    table.add_row({"pattern sparsity", fmt(workload.pattern.sparsity(), 4)});
+    table.add_row({"tiles per head", std::to_string(estimate.schedule.total_tiles())});
+    table.add_row({"catch-up tiles", std::to_string(estimate.schedule.catchup_tiles)});
+    table.add_row({"PE occupancy", fmt(estimate.schedule.slot_occupancy(), 3)});
+    table.add_row({"cycles (layer)", std::to_string(estimate.stats.cycles)});
+    table.add_row({"latency @" + fmt(config.geometry.frequency_ghz, 1) + "GHz",
+                   fmt(estimate.latency_ms, 3) + " ms"});
+    table.add_row({"synthesized area", fmt(synth.total_area_mm2(), 2) + " mm^2"});
+    table.add_row({"synthesized power", fmt(synth.total_power_mw(), 1) + " mW"});
+    table.add_row({"energy per layer",
+                   fmt(synth.total_power_w() * estimate.latency_ms, 4) + " mJ"});
+    const auto cpu = xeon_e5_2630_v3();
+    const auto gpu = gtx_1080ti();
+    table.add_row({"speedup vs modeled Xeon",
+                   fmt(sparse_attention_ms(cpu, workload).total_ms() /
+                           estimate.latency_ms, 1) + "x"});
+    table.add_row({"speedup vs modeled 1080Ti",
+                   fmt(sparse_attention_ms(gpu, workload).total_ms() /
+                           estimate.latency_ms, 1) + "x"});
+    table.print();
+
+    std::cout << "\n";
+    const auto plan = schedule(workload.pattern, config.geometry, head_dim,
+                               config.schedule_options);
+    std::cout << render_cycle_profile(plan, config.cycle_config()) << "\n";
+    std::cout << render_plan(plan, 8);
+    return 0;
+}

@@ -1,0 +1,62 @@
+// ViL-style 2D windowed attention on SALO (the paper's vision workload).
+//
+// Shows how a 15x15 window over an H x W patch grid maps onto the
+// accelerator: each window row becomes a band at a y-offset, narrow bands
+// are column-packed to keep the 32-wide array busy, and the scheduler's
+// dilation grouping is the paper's data-reordering in action.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/salo.hpp"
+#include "model/salo_model.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace salo;
+
+    std::cout << "=== 2D windowed attention (ViL) on SALO ===\n\n";
+
+    // A small 12x12 patch grid with a 5x5 window so the structure is visible.
+    const HybridPattern small2d = vil_2d(12, 12, 5, 5, 1);
+    std::cout << "12x12 grid, 5x5 window, 1 global token — flattened pattern:\n"
+              << small2d.ascii_art(48) << "\n";
+    std::cout << "bands (each window row is a band at offset dy*W):\n";
+    for (const Band& b : small2d.bands())
+        std::cout << "  dy=" << b.dy << ": offsets [" << b.lo << ", " << b.hi()
+                  << "], width " << b.count << "\n";
+
+    // Bit-accurate run vs golden on the small grid.
+    Rng rng(3);
+    const int d = 32;
+    const Matrix<float> q = random_matrix(small2d.n(), d, rng, 0.0, 0.8);
+    const Matrix<float> k = random_matrix(small2d.n(), d, rng, 0.0, 0.8);
+    const Matrix<float> v = random_matrix(small2d.n(), d, rng, 0.0, 0.8);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    const SaloEngine engine;
+    const HeadResult run = engine.run_head(small2d, q, k, v, scale);
+    const Matrix<float> gold = SaloEngine::golden(small2d, q, k, v, scale);
+    std::cout << "\nmax |SALO - golden| on the 12x12 grid: "
+              << max_abs_diff(run.output, gold) << "\n\n";
+
+    // The paper's two ViL stages through the analytic model, with and
+    // without column packing (the utilization story of §6.3).
+    AsciiTable table({"Stage", "Grid", "Occupancy packed", "Occupancy per-band",
+                      "Latency packed (ms)", "Latency per-band (ms)"});
+    for (const auto& w : {vil_stage1(), vil_stage2()}) {
+        SaloConfig packed;
+        SaloConfig per_band;
+        per_band.schedule_options.packing = PackingMode::kPerBand;
+        const auto ep = estimate_layer(w, packed);
+        const auto eb = estimate_layer(w, per_band);
+        const int gw = w.pattern.grid_width();
+        table.add_row({w.name, std::to_string(w.n() / gw) + "x" + std::to_string(gw),
+                       fmt(ep.schedule.slot_occupancy(), 3),
+                       fmt(eb.schedule.slot_occupancy(), 3), fmt(ep.latency_ms, 3),
+                       fmt(eb.latency_ms, 3)});
+    }
+    table.print();
+    std::cout << "\nPacking two 15-wide window rows per 32-column tile nearly\n"
+                 "doubles occupancy — this is how SALO sustains >75% utilization\n"
+                 "on ViL while the literal one-band-per-tile mapping cannot.\n";
+    return 0;
+}

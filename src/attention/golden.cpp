@@ -1,0 +1,86 @@
+#include "attention/golden.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+void softmax_row_inplace(std::span<float> row) {
+    if (row.empty()) return;
+    double mx = row[0];
+    for (float v : row) mx = std::max(mx, static_cast<double>(v));
+    double sum = 0.0;
+    for (float& v : row) {
+        const double e = std::exp(static_cast<double>(v) - mx);
+        v = static_cast<float>(e);
+        sum += e;
+    }
+    SALO_ASSERT(sum > 0.0);
+    for (float& v : row) v = static_cast<float>(v / sum);
+}
+
+Matrix<float> score_matrix(const Matrix<float>& q, const Matrix<float>& k, float scale) {
+    SALO_EXPECTS(q.cols() == k.cols());
+    Matrix<float> s = matmul_nt(q, k);
+    for (auto& v : s.data()) v *= scale;
+    return s;
+}
+
+Matrix<float> dense_attention(const Matrix<float>& q, const Matrix<float>& k,
+                              const Matrix<float>& v, float scale) {
+    SALO_EXPECTS(k.rows() == v.rows());
+    Matrix<float> s = score_matrix(q, k, scale);
+    for (int i = 0; i < s.rows(); ++i) softmax_row_inplace(s.row(i));
+    return matmul(s, v);
+}
+
+Matrix<float> masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                               const Matrix<float>& v, float scale, const AttendFn& attends) {
+    SALO_EXPECTS(q.cols() == k.cols());
+    SALO_EXPECTS(k.rows() == v.rows());
+    const int n = q.rows();
+    const int m = k.rows();
+    const int d = v.cols();
+    Matrix<float> out(n, d, 0.0f);
+    std::vector<int> cols;
+    std::vector<double> scores;
+    for (int i = 0; i < n; ++i) {
+        cols.clear();
+        scores.clear();
+        for (int j = 0; j < m; ++j)
+            if (attends(i, j)) cols.push_back(j);
+        if (cols.empty()) continue;
+
+        const auto qi = q.row(i);
+        double mx = -std::numeric_limits<double>::infinity();
+        for (int j : cols) {
+            const auto kj = k.row(j);
+            double dot = 0.0;
+            for (int t = 0; t < q.cols(); ++t)
+                dot += static_cast<double>(qi[static_cast<std::size_t>(t)]) *
+                       static_cast<double>(kj[static_cast<std::size_t>(t)]);
+            dot *= scale;
+            scores.push_back(dot);
+            mx = std::max(mx, dot);
+        }
+        double sum = 0.0;
+        for (double& sc : scores) {
+            sc = std::exp(sc - mx);
+            sum += sc;
+        }
+        SALO_ASSERT(sum > 0.0);
+        auto orow = out.row(i);
+        for (std::size_t idx = 0; idx < cols.size(); ++idx) {
+            const double w = scores[idx] / sum;
+            const auto vrow = v.row(cols[idx]);
+            for (int t = 0; t < d; ++t)
+                orow[static_cast<std::size_t>(t)] +=
+                    static_cast<float>(w * static_cast<double>(vrow[static_cast<std::size_t>(t)]));
+        }
+    }
+    return out;
+}
+
+}  // namespace salo

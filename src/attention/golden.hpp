@@ -1,0 +1,36 @@
+// Float golden models of the attention mechanism (paper §2.1, Eq. 1).
+//
+// These are the oracles every simulator test compares against: a dense
+// softmax attention and a masked (sparse) variant where the mask is an
+// arbitrary predicate over (query, key) index pairs. They use numerically
+// safe softmax (max subtraction) in double precision.
+#pragma once
+
+#include <functional>
+
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Predicate deciding whether query i attends to key j.
+using AttendFn = std::function<bool(int i, int j)>;
+
+/// Numerically safe softmax over a row, in place (double accumulation).
+void softmax_row_inplace(std::span<float> row);
+
+/// Dense attention: softmax(Q K^T * scale) V.
+/// Q: n x d, K: n x d, V: n x d -> n x d.
+Matrix<float> dense_attention(const Matrix<float>& q, const Matrix<float>& k,
+                              const Matrix<float>& v, float scale);
+
+/// Masked sparse attention: positions with attends(i,j) == false are
+/// excluded from the softmax and the weighted sum. Rows that attend to
+/// nothing produce zero vectors.
+Matrix<float> masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                               const Matrix<float>& v, float scale, const AttendFn& attends);
+
+/// The score matrix S = Q K^T * scale (before softmax); exposed because the
+/// simulator tests validate stage-1 results independently.
+Matrix<float> score_matrix(const Matrix<float>& q, const Matrix<float>& k, float scale);
+
+}  // namespace salo

@@ -1,0 +1,23 @@
+// Streaming (online-softmax) attention reference.
+//
+// Computes masked attention in one pass over key blocks, maintaining a
+// running (max, weight, output) triple per query and renormalizing on the
+// fly — the same mathematics as SALO's window splitting + weighted-sum
+// module (paper §4.2/Appendix A), and of FlashAttention-style kernels.
+// Serves as an independent float oracle for the renormalization identity:
+// for any block size the result must equal ordinary masked attention.
+#pragma once
+
+#include "attention/golden.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Masked attention computed over key blocks of `block_size`, merging each
+/// block's partial softmax into the running result via the Eq. 2 / online
+/// renormalization. block_size >= 1; block_size >= n reduces to one pass.
+Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                                         const Matrix<float>& v, float scale,
+                                         const AttendFn& attends, int block_size);
+
+}  // namespace salo

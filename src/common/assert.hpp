@@ -1,0 +1,46 @@
+// Contract-checking macros in the style of the C++ Core Guidelines (I.6/I.8:
+// prefer Expects()/Ensures() for preconditions and postconditions).
+//
+// Violations throw salo::ContractViolation so that unit tests can assert on
+// them; a hardware simulator must fail loudly on malformed configurations
+// rather than silently produce wrong cycle counts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace salo {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                            std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace salo
+
+/// Precondition check; use at function entry.
+#define SALO_EXPECTS(cond)                                                        \
+    do {                                                                          \
+        if (!(cond)) ::salo::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+    } while (0)
+
+/// Postcondition check; use before returning a computed result.
+#define SALO_ENSURES(cond)                                                        \
+    do {                                                                          \
+        if (!(cond)) ::salo::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+    } while (0)
+
+/// Internal invariant check (mid-function).
+#define SALO_ASSERT(cond)                                                         \
+    do {                                                                          \
+        if (!(cond)) ::salo::detail::contract_fail("Assert", #cond, __FILE__, __LINE__); \
+    } while (0)

@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation used across tests,
+// examples and benchmarks. We avoid std::default_random_engine because its
+// behaviour is implementation-defined; reproductions must be bit-identical
+// across platforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace salo {
+
+/// SplitMix64: tiny, high-quality 64-bit PRNG (public-domain algorithm by
+/// Sebastiano Vigna). Deterministic across platforms.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t uniform_index(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+    /// Standard normal via Box-Muller (deterministic, no cached spare).
+    double normal() {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300) u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    }
+
+    /// Normal with mean/stddev.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// k distinct indices drawn from [0, n) (k <= n), in increasing order.
+    std::vector<int> sample_indices(int n, int k) {
+        std::vector<int> out;
+        out.reserve(static_cast<std::size_t>(k));
+        // Floyd's algorithm would need a set; n is small in our uses, so use
+        // a simple selection sweep which is deterministic and ordered.
+        int remaining = k;
+        for (int i = 0; i < n && remaining > 0; ++i) {
+            const int left = n - i;
+            if (static_cast<int>(uniform_index(static_cast<std::uint64_t>(left))) < remaining) {
+                out.push_back(i);
+                --remaining;
+            }
+        }
+        return out;
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace salo

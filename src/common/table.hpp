@@ -1,0 +1,116 @@
+// ASCII table and bar-chart rendering used by the benchmark harnesses to
+// print paper-style tables (Table 1-3) and figures (Figure 7a/7b).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+/// Simple column-aligned ASCII table. Rows are vectors of pre-formatted
+/// strings; the first row added is treated as the header.
+class AsciiTable {
+public:
+    explicit AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    void add_row(std::vector<std::string> row) {
+        SALO_EXPECTS(row.size() == header_.size());
+        rows_.push_back(std::move(row));
+    }
+
+    /// Render the table to a string with | separators and a rule under the
+    /// header, e.g. for embedding in markdown-ish console output.
+    std::string str() const {
+        std::vector<std::size_t> width(header_.size(), 0);
+        auto grow = [&](const std::vector<std::string>& row) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+        };
+        grow(header_);
+        for (const auto& r : rows_) grow(r);
+
+        std::ostringstream os;
+        auto emit = [&](const std::vector<std::string>& row) {
+            os << "|";
+            for (std::size_t c = 0; c < row.size(); ++c)
+                os << " " << std::left << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+            os << "\n";
+        };
+        emit(header_);
+        os << "|";
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "|";
+        os << "\n";
+        for (const auto& r : rows_) emit(r);
+        return os.str();
+    }
+
+    void print() const { std::cout << str(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal ASCII bar chart: one labelled bar per entry, scaled so the
+/// longest bar spans `max_width` characters. Used to render Figure 7a/7b.
+class AsciiBarChart {
+public:
+    explicit AsciiBarChart(std::string title, int max_width = 50)
+        : title_(std::move(title)), max_width_(max_width) {
+        SALO_EXPECTS(max_width > 0);
+    }
+
+    void add(std::string label, double value) { entries_.push_back({std::move(label), value}); }
+
+    std::string str() const {
+        double peak = 0.0;
+        std::size_t label_w = 0;
+        for (const auto& e : entries_) {
+            peak = std::max(peak, e.value);
+            label_w = std::max(label_w, e.label.size());
+        }
+        std::ostringstream os;
+        os << title_ << "\n";
+        for (const auto& e : entries_) {
+            const int len = peak > 0.0
+                                ? static_cast<int>(e.value / peak * max_width_ + 0.5)
+                                : 0;
+            os << "  " << std::left << std::setw(static_cast<int>(label_w)) << e.label << " |"
+               << std::string(static_cast<std::size_t>(len), '#') << " "
+               << format_double(e.value, 2) << "\n";
+        }
+        return os.str();
+    }
+
+    void print() const { std::cout << str(); }
+
+    static std::string format_double(double v, int precision) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+private:
+    struct Entry {
+        std::string label;
+        double value;
+    };
+    std::string title_;
+    int max_width_;
+    std::vector<Entry> entries_;
+};
+
+/// printf-style float formatting helper shared by bench binaries.
+inline std::string fmt(double v, int precision = 2) {
+    return AsciiBarChart::format_double(v, precision);
+}
+
+}  // namespace salo

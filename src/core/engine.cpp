@@ -1,0 +1,158 @@
+#include "core/engine.hpp"
+
+#include <thread>
+
+#include "attention/golden.hpp"
+#include "numeric/quantize.hpp"
+#include "sim/cycle_accurate.hpp"
+#include "sim/tile_executor.hpp"
+#include "sim/wsm.hpp"
+
+namespace salo {
+
+SaloEngine::SaloEngine() : SaloEngine(SaloConfig{}) {}
+
+SaloEngine::SaloEngine(const SaloConfig& config)
+    : config_(config), exp_unit_(config.exp_config), recip_unit_(config.recip_config) {
+    config_.geometry.validate();
+    SALO_EXPECTS(config_.bus_bytes_per_cycle > 0);
+}
+
+SchedulePlan SaloEngine::plan(const HybridPattern& pattern, int head_dim) const {
+    return schedule(pattern, config_.geometry, head_dim, config_.schedule_options);
+}
+
+Matrix<float> SaloEngine::golden(const HybridPattern& pattern, const Matrix<float>& q,
+                                 const Matrix<float>& k, const Matrix<float>& v,
+                                 float scale) {
+    return masked_attention(q, k, v, scale, pattern.attend_fn());
+}
+
+HeadResult SaloEngine::run_head_on_plan(const SchedulePlan& plan,
+                                        const HybridPattern& pattern,
+                                        const Matrix<float>& q, const Matrix<float>& k,
+                                        const Matrix<float>& v, float scale) const {
+    const int n = q.rows();
+    const int d = q.cols();
+    SALO_EXPECTS(n == pattern.n());
+    SALO_EXPECTS(k.rows() == n && v.rows() == n && k.cols() == d && v.cols() == d);
+
+    HeadResult result;
+    if (config_.fidelity == Fidelity::kGolden) {
+        result.output = golden(pattern, q, k, v, scale);
+        return result;
+    }
+
+    // Quantize at the accelerator boundary; the 1/sqrt(d) scaling is folded
+    // into Q (driver-side preprocessing, see DESIGN.md).
+    Matrix<float> q_scaled = q;
+    for (auto& x : q_scaled.data()) x *= scale;
+    const Matrix<std::int8_t> qq = quantize<InputFx>(q_scaled);
+    const Matrix<std::int8_t> kq = quantize<InputFx>(k);
+    const Matrix<std::int8_t> vq = quantize<InputFx>(v);
+
+    WeightedSumModule wsm(n, d, recip_unit_);
+    std::vector<TilePart> parts;
+    const CycleConfig ccfg = config_.cycle_config();
+
+    std::int64_t prev_compute = 0;  // for the double-buffered load overlap
+    bool first_tile = true;
+
+    auto account = [&](const TileTask& tile, const CycleBreakdown& b) {
+        std::int64_t compute = b.total();
+        // Inter-tile pipelining: stage 3 of the previous tile overlaps this
+        // tile's systolic stages (no MAC conflict), so it is hidden for
+        // every tile but the first.
+        if (config_.tile_pipelining && !first_tile) compute -= b.stage[2];
+        const std::int64_t load =
+            (tile_load_bytes(tile, d) + config_.bus_bytes_per_cycle - 1) /
+            config_.bus_bytes_per_cycle;
+        std::int64_t cycles;
+        if (!config_.double_buffer) {
+            cycles = load + compute;
+        } else if (first_tile) {
+            cycles = load + compute;  // nothing to overlap with yet
+        } else {
+            // The load of this tile overlapped the previous tile's compute;
+            // stall only for the remainder.
+            cycles = compute + std::max<std::int64_t>(0, load - prev_compute);
+        }
+        prev_compute = compute;
+        first_tile = false;
+        result.stats.cycles += cycles;
+        ++result.stats.tiles;
+        for (int s = 0; s < 5; ++s) result.stats.stage_totals.stage[s] += b.stage[s];
+    };
+
+    if (config_.fidelity == Fidelity::kFunctional) {
+        const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
+        for (const TileTask& tile : plan.tiles) {
+            parts.clear();
+            exec.run(tile, parts, result.stats.activity);
+            for (const TilePart& p : parts) wsm.merge(p);
+            const CycleBreakdown b = tile_cycles(tile, d, ccfg);
+            account(tile, b);
+            result.stats.activity.pe_cycles +=
+                static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
+        }
+    } else {
+        const CycleAccurateArray array(config_.geometry, ccfg, exp_unit_, recip_unit_, qq,
+                                       kq, vq);
+        for (const TileTask& tile : plan.tiles) {
+            parts.clear();
+            const CycleBreakdown b = array.run(tile, parts, result.stats.activity);
+            for (const TilePart& p : parts) wsm.merge(p);
+            account(tile, b);
+        }
+    }
+
+    result.output = wsm.finalize();
+    return result;
+}
+
+HeadResult SaloEngine::run_head(const HybridPattern& pattern, const Matrix<float>& q,
+                                const Matrix<float>& k, const Matrix<float>& v,
+                                float scale) const {
+    const SchedulePlan p = plan(pattern, q.cols());
+    return run_head_on_plan(p, pattern, q, k, v, scale);
+}
+
+LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& q,
+                            const Tensor3<float>& k, const Tensor3<float>& v,
+                            float scale) const {
+    SALO_EXPECTS(q.count() == k.count() && k.count() == v.count());
+    SALO_EXPECTS(q.count() >= 1);
+    LayerResult result;
+    result.output = Tensor3<float>(q.count(), q.rows(), q.cols());
+    const SchedulePlan p = plan(pattern, q.cols());
+    result.schedule = p.stats;
+
+    const int heads = q.count();
+    std::vector<HeadResult> head_results(static_cast<std::size_t>(heads));
+    const int threads = std::max(1, std::min(config_.num_threads, heads));
+    if (threads == 1) {
+        for (int h = 0; h < heads; ++h)
+            head_results[static_cast<std::size_t>(h)] =
+                run_head_on_plan(p, pattern, q[h], k[h], v[h], scale);
+    } else {
+        // Heads are independent; striped assignment keeps results identical
+        // to the sequential path regardless of thread count.
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t] {
+                for (int h = t; h < heads; h += threads)
+                    head_results[static_cast<std::size_t>(h)] =
+                        run_head_on_plan(p, pattern, q[h], k[h], v[h], scale);
+            });
+        }
+        for (std::thread& worker : pool) worker.join();
+    }
+    for (int h = 0; h < heads; ++h) {
+        result.output[h] = std::move(head_results[static_cast<std::size_t>(h)].output);
+        result.stats += head_results[static_cast<std::size_t>(h)].stats;
+    }
+    return result;
+}
+
+}  // namespace salo

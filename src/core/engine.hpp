@@ -1,0 +1,111 @@
+// SaloEngine: the end-to-end public API of the SALO reproduction.
+//
+// Drives the full pipeline of the paper's Figure 3: the hybrid sparse
+// attention pattern and hardware metadata go to the data scheduler; the
+// quantized Query/Key/Value stream through the spatial accelerator
+// (functional or cycle-accurate model); per-part outputs are merged by the
+// weighted-sum module (Eq. 2); the result is dequantized back to float.
+//
+// Fidelity levels:
+//   kGolden        — float masked attention, no hardware at all (oracle);
+//   kFunctional    — bit-accurate fixed-point datapath, analytic cycles;
+//   kCycleAccurate — bit-accurate datapath driven cycle-by-cycle (slow;
+//                    validates the analytic cycle model).
+#pragma once
+
+#include <memory>
+
+#include "numeric/pwl_exp.hpp"
+#include "numeric/reciprocal.hpp"
+#include "pattern/pattern.hpp"
+#include "scheduler/scheduler.hpp"
+#include "sim/cycle_formulas.hpp"
+#include "sim/parts.hpp"
+#include "tensor/tensor3.hpp"
+
+namespace salo {
+
+enum class Fidelity {
+    kGolden,
+    kFunctional,
+    kCycleAccurate,
+};
+
+struct SaloConfig {
+    ArrayGeometry geometry;
+    PwlExp::Config exp_config;
+    Reciprocal::Config recip_config;
+    ScheduleOptions schedule_options;
+    Fidelity fidelity = Fidelity::kFunctional;
+
+    /// Off-chip bandwidth model: bytes transferred per cycle into the
+    /// double-buffered SRAMs. Tile loads overlap compute; a tile stalls only
+    /// when its input load is longer than the previous tile's compute.
+    int bus_bytes_per_cycle = 64;
+    bool double_buffer = true;
+
+    /// Inter-tile stage overlap: stage 3 (row ripple + reciprocal +
+    /// broadcast) uses the adder tree and the shared reciprocal unit, not
+    /// the PE MACs, so the next tile's stage-1 systolic pass can run under
+    /// it. When enabled, every tile after the first hides its stage-3
+    /// latency. Off by default (the paper does not describe the overlap);
+    /// quantified in bench_ablation.
+    bool tile_pipelining = false;
+
+    /// Host-side parallelism for multi-head runs (simulation speed only;
+    /// heads are independent, so results are identical for any value).
+    int num_threads = 1;
+
+    CycleConfig cycle_config() const {
+        CycleConfig c;
+        c.recip = recip_config;
+        return c;
+    }
+};
+
+struct HeadResult {
+    Matrix<float> output;  ///< n x d attention output
+    SimStats stats;
+};
+
+struct LayerResult {
+    Tensor3<float> output;  ///< per-head n x d attention outputs
+    SimStats stats;         ///< summed over heads
+    ScheduleStats schedule; ///< the (head-independent) schedule statistics
+};
+
+class SaloEngine {
+public:
+    SaloEngine();  // default configuration
+    explicit SaloEngine(const SaloConfig& config);
+
+    const SaloConfig& config() const { return config_; }
+
+    /// Run one attention head. `scale` (typically 1/sqrt(d)) is folded into
+    /// Q before quantization, as the hardware driver would do.
+    HeadResult run_head(const HybridPattern& pattern, const Matrix<float>& q,
+                        const Matrix<float>& k, const Matrix<float>& v, float scale) const;
+
+    /// Run a multi-head attention layer; the schedule is built once and
+    /// reused across heads.
+    LayerResult run(const HybridPattern& pattern, const Tensor3<float>& q,
+                    const Tensor3<float>& k, const Tensor3<float>& v, float scale) const;
+
+    /// The schedule this engine would use for `pattern` with head dim `d`.
+    SchedulePlan plan(const HybridPattern& pattern, int head_dim) const;
+
+    /// Float oracle for the same computation (no quantization, no hardware).
+    static Matrix<float> golden(const HybridPattern& pattern, const Matrix<float>& q,
+                                const Matrix<float>& k, const Matrix<float>& v, float scale);
+
+private:
+    HeadResult run_head_on_plan(const SchedulePlan& plan, const HybridPattern& pattern,
+                                const Matrix<float>& q, const Matrix<float>& k,
+                                const Matrix<float>& v, float scale) const;
+
+    SaloConfig config_;
+    PwlExp exp_unit_;
+    Reciprocal recip_unit_;
+};
+
+}  // namespace salo

@@ -1,0 +1,20 @@
+// Umbrella header: the full public API of the SALO reproduction.
+//
+//   #include "core/salo.hpp"
+//
+// pulls in the pattern builders (Longformer / ViL / Star-Transformer /
+// Sparse-Transformer), the data scheduler, the engine with its three
+// fidelity levels, and the analytic performance models.
+#pragma once
+
+#include "attention/golden.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "numeric/fixed.hpp"
+#include "numeric/pwl_exp.hpp"
+#include "numeric/quantize.hpp"
+#include "numeric/reciprocal.hpp"
+#include "pattern/pattern.hpp"
+#include "scheduler/scheduler.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/tensor3.hpp"

@@ -1,0 +1,40 @@
+// Energy accounting for the Figure 7b comparison: E = P * t for SALO (power
+// from the synthesis model, latency from the cycle model) and for the
+// CPU/GPU baselines (implied powers x modeled latencies).
+#pragma once
+
+#include "model/baseline.hpp"
+#include "model/salo_model.hpp"
+#include "model/synthesis.hpp"
+
+namespace salo {
+
+struct EnergyComparison {
+    double salo_latency_ms = 0.0;
+    double salo_power_w = 0.0;
+    double device_latency_ms = 0.0;
+    double device_power_w = 0.0;
+
+    double salo_energy_mj() const { return salo_power_w * salo_latency_ms; }
+    double device_energy_mj() const { return device_power_w * device_latency_ms; }
+    double energy_saving() const {
+        return salo_energy_mj() > 0.0 ? device_energy_mj() / salo_energy_mj() : 0.0;
+    }
+    double speedup() const {
+        return salo_latency_ms > 0.0 ? device_latency_ms / salo_latency_ms : 0.0;
+    }
+};
+
+/// Full comparison of one workload against one baseline device.
+inline EnergyComparison compare_energy(const AttentionWorkload& workload,
+                                       const DeviceSpec& device,
+                                       const SaloConfig& config) {
+    EnergyComparison cmp;
+    cmp.salo_latency_ms = estimate_layer(workload, config).latency_ms;
+    cmp.salo_power_w = synthesize(config.geometry).total_power_w();
+    cmp.device_latency_ms = sparse_attention_ms(device, workload).total_ms();
+    cmp.device_power_w = implied_power_w(device, workload.name);
+    return cmp;
+}
+
+}  // namespace salo

@@ -1,0 +1,57 @@
+#include "model/salo_model.hpp"
+
+#include <algorithm>
+
+namespace salo {
+
+SimStats estimate_head_stats(const SchedulePlan& plan, const SaloConfig& config) {
+    SimStats stats;
+    const CycleConfig ccfg = config.cycle_config();
+    std::int64_t prev_compute = 0;
+    bool first_tile = true;
+    for (const TileTask& tile : plan.tiles) {
+        const CycleBreakdown b = tile_cycles(tile, plan.head_dim, ccfg);
+        std::int64_t compute = b.total();
+        if (config.tile_pipelining && !first_tile) compute -= b.stage[2];
+        const std::int64_t load =
+            (tile_load_bytes(tile, plan.head_dim) + config.bus_bytes_per_cycle - 1) /
+            config.bus_bytes_per_cycle;
+        std::int64_t cycles;
+        if (!config.double_buffer || first_tile)
+            cycles = load + compute;
+        else
+            cycles = compute + std::max<std::int64_t>(0, load - prev_compute);
+        prev_compute = compute;
+        first_tile = false;
+        stats.cycles += cycles;
+        ++stats.tiles;
+        for (int s = 0; s < 5; ++s) stats.stage_totals.stage[s] += b.stage[s];
+        stats.activity.valid_slots += tile.num_valid_slots();
+        stats.activity.array_slots += static_cast<std::int64_t>(tile.rows()) * tile.cols();
+        stats.activity.pe_cycles +=
+            static_cast<std::int64_t>(tile.rows()) * tile.cols() * compute;
+        // Useful MACs: every pattern element costs d MACs in stage 1 and d
+        // in stage 5 (window slots, global-column and global-row elements).
+        std::int64_t elements = tile.num_valid_slots();
+        if (tile.global_col_key >= 0)
+            for (auto served : tile.global_col_rows) elements += served ? 1 : 0;
+        for (auto fresh : tile.global_fresh) elements += fresh ? 1 : 0;
+        stats.activity.mac_ops += 2 * elements * plan.head_dim;
+        stats.activity.exp_ops += elements;
+    }
+    return stats;
+}
+
+LayerEstimate estimate_layer(const AttentionWorkload& workload, const SaloConfig& config) {
+    const SchedulePlan plan =
+        schedule(workload.pattern, config.geometry, workload.head_dim,
+                 config.schedule_options);
+    LayerEstimate estimate;
+    estimate.schedule = plan.stats;
+    const SimStats head = estimate_head_stats(plan, config);
+    for (int h = 0; h < workload.heads; ++h) estimate.stats += head;
+    estimate.latency_ms = estimate.stats.latency_ms(config.geometry.frequency_ghz);
+    return estimate;
+}
+
+}  // namespace salo

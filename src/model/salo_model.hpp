@@ -1,0 +1,29 @@
+// Analytic SALO performance model.
+//
+// Computes layer latency from a SchedulePlan using the closed-form per-tile
+// cycle formulas and the same double-buffered load-overlap accounting as the
+// engine — without touching any data. Tests assert it matches the engine's
+// functional-mode cycle counts exactly, and the cycle-accurate model in
+// turn validates the formulas; this is the path used for full-size
+// workloads in the Figure 7 benchmarks.
+#pragma once
+
+#include "core/engine.hpp"
+#include "scheduler/scheduler.hpp"
+#include "sim/parts.hpp"
+#include "workload/workloads.hpp"
+
+namespace salo {
+
+/// Cycle/stage estimate for one head executed over `plan`.
+SimStats estimate_head_stats(const SchedulePlan& plan, const SaloConfig& config);
+
+/// Full-layer estimate for a workload (all heads; the schedule is shared).
+struct LayerEstimate {
+    SimStats stats;          ///< summed over heads
+    ScheduleStats schedule;
+    double latency_ms = 0.0;
+};
+LayerEstimate estimate_layer(const AttentionWorkload& workload, const SaloConfig& config);
+
+}  // namespace salo

@@ -1,0 +1,39 @@
+#include "model/sanger.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+double sanger_utilization(double sparsity) {
+    // Linear interpolation of the paper's quoted range: ~55 % at sparsity
+    // 0.05 rising to ~75 % at sparsity 0.30.
+    const double lo_s = 0.05, hi_s = 0.30;
+    const double lo_u = 0.55, hi_u = 0.75;
+    const double t = std::clamp((sparsity - lo_s) / (hi_s - lo_s), 0.0, 1.0);
+    return lo_u + t * (hi_u - lo_u);
+}
+
+SangerEstimate sanger_estimate(const SangerConfig& config,
+                               const AttentionWorkload& workload) {
+    SALO_EXPECTS(config.total_pes() > 0);
+    const double n = workload.n();
+    const double d = workload.head_dim;
+    const double heads = workload.heads;
+    const double nnz = static_cast<double>(workload.pattern.nnz());
+
+    SangerEstimate est;
+    // Prediction: n^2 * d low-precision MACs per head, packed.
+    est.prediction_cycles =
+        n * n * d * heads / (config.total_pes() * config.prediction_packing);
+    // Sparse attention: two MAC passes (S = QK^T and S'V) over the surviving
+    // elements, at the irregular-pattern utilization.
+    const double util = config.utilization > 0.0
+                            ? config.utilization
+                            : sanger_utilization(workload.pattern.sparsity());
+    est.attention_cycles = 2.0 * nnz * d * heads / (config.total_pes() * util);
+    return est;
+}
+
+}  // namespace salo

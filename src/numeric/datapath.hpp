@@ -1,0 +1,54 @@
+// Shared bit-level layout of the SALO PE datapath.
+//
+// Every value that flows through the simulated accelerator is a raw integer
+// with an implied binary point; this header pins down where those points sit
+// so the functional model, the cycle-accurate simulator and the weighted-sum
+// module agree bit-for-bit.
+//
+//   inputs  q,k,v : int8   Q3.4   (IN_FRAC  = 4)   — paper §6.4
+//   scores  S     : int32  Q23.8  (ACC_FRAC = 8)   — product of two Q3.4,
+//                                                    accumulated over d terms
+//   exp(S)        : uint32 Q.14   (EXP_FRAC = 14)  — PWL base-2 exponential
+//   row sum W     : uint64 Q.14                    — sum of <= cols exp terms
+//   1/W           : uint64 Q.30   (INV_FRAC = 30)  — reciprocal unit output
+//   S' = exp/W    : uint16 Q.15   (SPRIME_FRAC=15) — attention probability
+//   output        : int16  Q7.8   (OUT_FRAC = 8)   — paper: 16-bit outputs
+#pragma once
+
+#include <cstdint>
+
+namespace salo {
+
+struct Datapath {
+    static constexpr int in_frac = 4;      ///< Q/K/V fraction bits (Q3.4)
+    static constexpr int acc_frac = 8;     ///< S = q*k accumulator fraction bits
+    static constexpr int exp_frac = 14;    ///< exp(S) fraction bits
+    static constexpr int inv_frac = 30;    ///< 1/W fraction bits
+    static constexpr int sprime_frac = 15; ///< S' (normalized prob) fraction bits
+    static constexpr int out_frac = 8;     ///< final output fraction bits (Q7.8)
+    /// Guard bits kept by the weighted-sum module's internal accumulator so
+    /// that repeated Eq.2 merges do not lose precision before the final
+    /// 16-bit emission.
+    static constexpr int wsm_frac = 16;
+};
+
+/// Round-to-nearest (ties away from zero) right shift — the rounding every
+/// renormalization step of the datapath uses. Negative shifts widen.
+inline std::int64_t round_shift(std::int64_t v, int shift) {
+    if (shift <= 0) return v << -shift;
+    const std::int64_t half = std::int64_t{1} << (shift - 1);
+    return v >= 0 ? (v + half) >> shift : -((-v + half) >> shift);
+}
+
+/// Raw score value (Q.acc_frac).
+using ScoreRaw = std::int32_t;
+/// Raw exponential value (Q.exp_frac), non-negative.
+using ExpRaw = std::uint32_t;
+/// Raw softmax-denominator (Q.exp_frac), non-negative, wide.
+using SumRaw = std::uint64_t;
+/// Raw reciprocal (Q.inv_frac).
+using InvRaw = std::uint64_t;
+/// Raw normalized probability (Q.sprime_frac).
+using SprimeRaw = std::uint16_t;
+
+}  // namespace salo

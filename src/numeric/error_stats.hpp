@@ -1,0 +1,45 @@
+// Error metrics between float tensors: used by the quantization study, the
+// fidelity tests and the numeric benches to quantify datapath error.
+#pragma once
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+struct ErrorStats {
+    double max_abs = 0.0;    ///< max |a - b|
+    double mse = 0.0;        ///< mean squared error
+    double cosine = 1.0;     ///< cosine similarity of the flattened tensors
+    double snr_db = 0.0;     ///< signal-to-noise ratio of b vs reference a
+
+    double rmse() const { return std::sqrt(mse); }
+};
+
+/// Compare candidate `b` against reference `a` (same shape).
+inline ErrorStats compare(const Matrix<float>& a, const Matrix<float>& b) {
+    SALO_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+    SALO_EXPECTS(!a.empty());
+    ErrorStats s;
+    double dot = 0.0, na = 0.0, nb = 0.0, err2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double x = a.data()[i];
+        const double y = b.data()[i];
+        const double d = x - y;
+        s.max_abs = std::max(s.max_abs, std::abs(d));
+        err2 += d * d;
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    s.mse = err2 / static_cast<double>(a.size());
+    const double denom = std::sqrt(na) * std::sqrt(nb);
+    s.cosine = denom > 0.0 ? dot / denom : 1.0;
+    s.snr_db = err2 > 0.0 ? 10.0 * std::log10(na / err2)
+                          : std::numeric_limits<double>::infinity();
+    return s;
+}
+
+}  // namespace salo

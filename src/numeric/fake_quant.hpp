@@ -1,0 +1,36 @@
+// Runtime-configurable fake quantization: rounds floats to an arbitrary
+// signed fixed-point grid (int_bits.frac_bits) with saturation, without
+// committing to a compile-time Fixed<> format. Used by the bit-width
+// ablation (why did the paper pick 8 bits with 4 fraction bits?) and by
+// tests that isolate input-quantization error from datapath error.
+#pragma once
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Quantize one value to the grid of a (1 + int_bits + frac_bits)-bit
+/// signed fixed-point format.
+inline float fake_quantize_value(float v, int int_bits, int frac_bits) {
+    SALO_EXPECTS(int_bits >= 0 && frac_bits >= 0);
+    SALO_EXPECTS(int_bits + frac_bits >= 1 && int_bits + frac_bits <= 30);
+    const double step = std::ldexp(1.0, -frac_bits);
+    const double hi = std::ldexp(1.0, int_bits) - step;
+    const double lo = -std::ldexp(1.0, int_bits);
+    if (std::isnan(v)) return 0.0f;
+    double q = std::nearbyint(static_cast<double>(v) / step) * step;
+    if (q > hi) q = hi;
+    if (q < lo) q = lo;
+    return static_cast<float>(q);
+}
+
+/// Elementwise fake quantization of a matrix.
+inline Matrix<float> fake_quantize(const Matrix<float>& m, int int_bits, int frac_bits) {
+    return m.map<float>(
+        [=](float v) { return fake_quantize_value(v, int_bits, frac_bits); });
+}
+
+}  // namespace salo

@@ -1,0 +1,113 @@
+// Saturating Q-format fixed-point value type.
+//
+// SALO quantizes Query/Key/Value to 8 bits with 4 fraction bits (paper §6.4)
+// and emits 16-bit outputs. Fixed<IntBits, FracBits, Storage> models such a
+// format: one sign bit + IntBits integer bits + FracBits fraction bits, all
+// packed in Storage. from_float saturates and rounds to nearest (ties to
+// even, the IEEE default), matching a hardware quantizer.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+template <int IntBits, int FracBits, typename Storage = std::int32_t>
+class Fixed {
+    static_assert(std::is_signed_v<Storage> && std::is_integral_v<Storage>);
+    static_assert(IntBits >= 0 && FracBits >= 0);
+    static_assert(1 + IntBits + FracBits <= static_cast<int>(sizeof(Storage) * 8),
+                  "format does not fit in storage");
+
+public:
+    using storage_type = Storage;
+    static constexpr int int_bits = IntBits;
+    static constexpr int frac_bits = FracBits;
+    static constexpr std::int64_t raw_max = (std::int64_t{1} << (IntBits + FracBits)) - 1;
+    static constexpr std::int64_t raw_min = -(std::int64_t{1} << (IntBits + FracBits));
+    static constexpr double scale = static_cast<double>(std::int64_t{1} << FracBits);
+
+    constexpr Fixed() = default;
+
+    /// Reinterpret a raw integer (already in Q format) as a Fixed.
+    static constexpr Fixed from_raw(std::int64_t raw) {
+        Fixed f;
+        f.raw_ = static_cast<Storage>(saturate(raw));
+        return f;
+    }
+
+    /// Quantize a real value: round to nearest, saturate to format range.
+    static Fixed from_float(double v) {
+        if (std::isnan(v)) return from_raw(0);
+        const double scaled = v * scale;
+        const double rounded = std::nearbyint(scaled);
+        if (rounded >= static_cast<double>(raw_max)) return from_raw(raw_max);
+        if (rounded <= static_cast<double>(raw_min)) return from_raw(raw_min);
+        return from_raw(static_cast<std::int64_t>(rounded));
+    }
+
+    constexpr Storage raw() const { return raw_; }
+    constexpr double to_double() const { return static_cast<double>(raw_) / scale; }
+    constexpr float to_float() const { return static_cast<float>(to_double()); }
+
+    /// Largest / smallest representable values.
+    static constexpr Fixed max() { return from_raw(raw_max); }
+    static constexpr Fixed min() { return from_raw(raw_min); }
+    /// Quantization step.
+    static constexpr double resolution() { return 1.0 / scale; }
+
+    /// Saturating add/sub within the same format.
+    friend constexpr Fixed operator+(Fixed a, Fixed b) {
+        return from_raw(static_cast<std::int64_t>(a.raw_) + b.raw_);
+    }
+    friend constexpr Fixed operator-(Fixed a, Fixed b) {
+        return from_raw(static_cast<std::int64_t>(a.raw_) - b.raw_);
+    }
+    constexpr Fixed operator-() const { return from_raw(-static_cast<std::int64_t>(raw_)); }
+
+    /// Full-precision product as a raw integer with FracBits(a)+FracBits(b)
+    /// fraction bits. The caller chooses how to renormalize — exactly what a
+    /// hardware MAC does with its wide accumulator.
+    template <int I2, int F2, typename S2>
+    constexpr std::int64_t mul_raw(Fixed<I2, F2, S2> other) const {
+        return static_cast<std::int64_t>(raw_) * static_cast<std::int64_t>(other.raw());
+    }
+
+    /// Product renormalized into format R (round to nearest, ties away
+    /// from zero — matching the datapath's round_shift).
+    template <typename R, int I2, int F2, typename S2>
+    constexpr R mul_to(Fixed<I2, F2, S2> other) const {
+        constexpr int shift = FracBits + F2 - R::frac_bits;
+        static_assert(shift >= 0, "target format has more fraction bits than the product");
+        const std::int64_t p = mul_raw(other);
+        if constexpr (shift == 0) {
+            return R::from_raw(p);
+        } else {
+            const std::int64_t half = std::int64_t{1} << (shift - 1);
+            return R::from_raw(p >= 0 ? (p + half) >> shift : -((-p + half) >> shift));
+        }
+    }
+
+    friend constexpr bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+    friend constexpr auto operator<=>(Fixed a, Fixed b) { return a.raw_ <=> b.raw_; }
+
+private:
+    static constexpr std::int64_t saturate(std::int64_t raw) {
+        if (raw > raw_max) return raw_max;
+        if (raw < raw_min) return raw_min;
+        return raw;
+    }
+
+    Storage raw_ = 0;
+};
+
+/// The paper's input format: 8 bits total, 4 fraction bits (Q3.4 + sign).
+using InputFx = Fixed<3, 4, std::int8_t>;
+/// The paper's output format: 16 bits; we use Q7.8 (range +-128, step 1/256).
+using OutputFx = Fixed<7, 8, std::int16_t>;
+
+}  // namespace salo

@@ -1,0 +1,58 @@
+// Piecewise-linear exponential unit (stage 2 of the PE datapath).
+//
+// SALO follows Softermax [Stevens et al. 2021]: instead of a hardware exp,
+// the PE computes exp(x) = 2^(x*log2 e) by splitting y = x*log2 e into an
+// integer part (a barrel shift) and a fractional part approximated with a
+// piecewise-linear function whose slopes and intercepts live in two small
+// LUTs (the "LUT / Frac / Shift" blocks of Fig. 5). The whole evaluation
+// uses only the PE's MAC and shifter.
+//
+// This class is a bit-accurate software model of that unit: all arithmetic
+// is integer, LUT contents are quantized to lut_frac bits, and the result is
+// a Q.exp_frac raw value. A float reference and error-analysis helpers are
+// provided for tests and for the PWL-segment-count ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/datapath.hpp"
+
+namespace salo {
+
+class PwlExp {
+public:
+    struct Config {
+        int seg_bits = 3;   ///< log2(number of PWL segments) for 2^f, f in [0,1)
+        int lut_frac = 14;  ///< fraction bits of LUT slope/intercept entries
+        /// y = x*log2(e) is clamped to [y_min, y_max] before the shift; the
+        /// clamp bounds the shifter width exactly as real hardware would.
+        int y_min = -30;
+        int y_max = 15;
+    };
+
+    PwlExp();  // default configuration
+    explicit PwlExp(const Config& config);
+
+    /// Bit-accurate evaluation: x is a raw score (Q.acc_frac); the result is
+    /// exp(x) as a raw Q.exp_frac value, saturated to 32 bits.
+    ExpRaw exp_raw(ScoreRaw x_raw) const;
+
+    /// Convenience: evaluate on a real value through the quantized pipeline.
+    double exp_value(double x) const;
+
+    /// Max relative error of the PWL unit vs std::exp over [lo, hi],
+    /// sampled at `samples` points. Used by tests and the ablation bench.
+    double max_rel_error(double lo, double hi, int samples = 10000) const;
+
+    const Config& config() const { return config_; }
+    int segments() const { return 1 << config_.seg_bits; }
+
+private:
+    Config config_;
+    // Chord approximation of 2^f on each segment: slope/intercept in Q.lut_frac.
+    std::vector<std::int32_t> slope_q_;
+    std::vector<std::int32_t> icept_q_;
+};
+
+}  // namespace salo

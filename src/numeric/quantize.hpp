@@ -1,0 +1,33 @@
+// Matrix-level quantization helpers: float <-> Q-format conversions used at
+// the boundary between the float world (model activations) and the
+// accelerator's fixed-point world.
+#pragma once
+
+#include "numeric/fixed.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Quantize a float matrix to the raw storage of format Fx (saturating,
+/// round-to-nearest). The result holds raw Q-format integers.
+template <typename Fx>
+Matrix<typename Fx::storage_type> quantize(const Matrix<float>& m) {
+    return m.template map<typename Fx::storage_type>(
+        [](float v) { return Fx::from_float(v).raw(); });
+}
+
+/// Dequantize raw Q-format integers back to float.
+template <typename Fx>
+Matrix<float> dequantize(const Matrix<typename Fx::storage_type>& m) {
+    return m.template map<float>(
+        [](typename Fx::storage_type raw) { return Fx::from_raw(raw).to_float(); });
+}
+
+/// Round-trip a float matrix through format Fx (quantize + dequantize);
+/// models what the accelerator "sees" of a float input.
+template <typename Fx>
+Matrix<float> quantize_roundtrip(const Matrix<float>& m) {
+    return m.template map<float>([](float v) { return Fx::from_float(v).to_float(); });
+}
+
+}  // namespace salo

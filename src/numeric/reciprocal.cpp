@@ -1,0 +1,93 @@
+#include "numeric/reciprocal.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+namespace {
+constexpr int kMantFrac = 15;  // mantissa u in [1,2) as Q.15 -> u in [2^15, 2^16)
+constexpr int kRecFrac = 16;   // reciprocal r of 1/m in (0.5,1] as Q.16
+}  // namespace
+
+Reciprocal::Reciprocal() : Reciprocal(Config{}) {}
+
+Reciprocal::Reciprocal(const Config& config) : config_(config) {
+    SALO_EXPECTS(config_.lut_bits >= 1 && config_.lut_bits <= 12);
+    SALO_EXPECTS(config_.nr_iters >= 0 && config_.nr_iters <= 6);
+    const int n = 1 << config_.lut_bits;
+    seed_q16_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        // Seed with the reciprocal of the segment midpoint mantissa.
+        const double m = 1.0 + (i + 0.5) / n;
+        seed_q16_[static_cast<std::size_t>(i)] =
+            static_cast<std::uint32_t>(std::lround((1.0 / m) * (1 << kRecFrac)));
+    }
+}
+
+InvRaw Reciprocal::inv_raw(SumRaw w_raw) const {
+    SALO_EXPECTS(w_raw > 0);
+    // Normalize: find p = position of the leading one, shift so the mantissa
+    // u (Q.15) lies in [2^15, 2^16), i.e. m = u/2^15 in [1,2).
+    const int p = 63 - std::countl_zero(w_raw);
+    std::uint64_t u;
+    if (p >= kMantFrac)
+        u = w_raw >> (p - kMantFrac);
+    else
+        u = w_raw << (kMantFrac - p);
+    SALO_ASSERT(u >= (std::uint64_t{1} << kMantFrac) && u < (std::uint64_t{1} << (kMantFrac + 1)));
+
+    // Initial estimate from LUT, indexed by the bits right after the leading 1.
+    const int idx = static_cast<int>((u >> (kMantFrac - config_.lut_bits)) & ((1u << config_.lut_bits) - 1));
+    std::uint64_t r = seed_q16_[static_cast<std::size_t>(idx)];  // Q.16 of 1/m
+
+    // Newton-Raphson: r <- r*(2 - m*r). In raw terms: t = m*r (Q.15*Q.16>>15
+    // -> Q.16, approx 1.0); r <- r*(2^17 - t) >> 16.
+    for (int it = 0; it < config_.nr_iters; ++it) {
+        const std::uint64_t t = (u * r) >> kMantFrac;               // Q.16
+        r = (r * ((std::uint64_t{2} << kRecFrac) - t)) >> kRecFrac; // Q.16
+    }
+
+    // Denormalize: 1/W = (1/m) * 2^(exp_frac - p). As a Q.inv_frac raw:
+    //   inv_raw = r * 2^(inv_frac - kRecFrac + exp_frac - p)
+    const int shift = Datapath::inv_frac - kRecFrac + Datapath::exp_frac - p;
+    if (shift >= 0) {
+        SALO_ASSERT(shift < 48);  // w_raw >= 1 -> p >= 0 -> shift <= 28
+        return static_cast<InvRaw>(r << shift);
+    }
+    // Rounded down-shift (truncation costs a full LSB for very large sums).
+    return static_cast<InvRaw>((r + (std::uint64_t{1} << (-shift - 1))) >> -shift);
+}
+
+double Reciprocal::max_rel_error(double lo, double hi, int samples) const {
+    SALO_EXPECTS(samples > 1 && lo > 0.0 && hi > lo);
+    double worst = 0.0;
+    const double exp_scale = static_cast<double>(1 << Datapath::exp_frac);
+    const double inv_scale = static_cast<double>(std::int64_t{1} << Datapath::inv_frac);
+    for (int i = 0; i < samples; ++i) {
+        const double w = lo + (hi - lo) * i / (samples - 1);
+        const auto raw = static_cast<SumRaw>(std::llround(w * exp_scale));
+        if (raw == 0) continue;
+        const double got = static_cast<double>(inv_raw(raw)) / inv_scale;
+        const double ref = 1.0 / (static_cast<double>(raw) / exp_scale);
+        const double rel = std::abs(got - ref) / ref;
+        if (rel > worst) worst = rel;
+    }
+    return worst;
+}
+
+SprimeRaw normalize_prob(ExpRaw exp_raw, InvRaw inv_raw) {
+    // exp (Q.14) * inv (Q.30) -> Q.44, renormalize to Q.15. Because every
+    // exponential term is bounded by the row sum, exp*inv <= 1 and the
+    // 64-bit product cannot overflow (exp_raw <= W_raw, inv_raw ~= 2^44/W_raw).
+    const std::uint64_t prod = static_cast<std::uint64_t>(exp_raw) * inv_raw;
+    const int shift = Datapath::exp_frac + Datapath::inv_frac - Datapath::sprime_frac;
+    std::uint64_t q = (prod + (std::uint64_t{1} << (shift - 1))) >> shift;
+    if (q > std::numeric_limits<SprimeRaw>::max()) q = std::numeric_limits<SprimeRaw>::max();
+    return static_cast<SprimeRaw>(q);
+}
+
+}  // namespace salo

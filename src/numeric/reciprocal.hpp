@@ -1,0 +1,52 @@
+// Reciprocal unit (stage 3 of the PE datapath).
+//
+// SALO deliberately avoids per-PE dividers: the row sum W = sum_k exp(S_ik)
+// leaves the rightmost PE, a single shared unit computes 1/W, and the result
+// is broadcast back so every PE can multiply instead of divide (paper §5.1).
+//
+// The hardware-style algorithm modeled here: normalize W to a mantissa in
+// [1,2) (leading-zero count + barrel shift), look up an initial reciprocal
+// estimate in a small LUT, refine with Newton-Raphson iterations
+// r <- r*(2 - m*r) using the MAC, then denormalize. All arithmetic is
+// integer; the iteration count is configurable for the ablation study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/datapath.hpp"
+
+namespace salo {
+
+class Reciprocal {
+public:
+    struct Config {
+        int lut_bits = 6;  ///< log2(#seed entries)
+        int nr_iters = 2;  ///< Newton-Raphson refinement steps
+        /// Modeled pipeline latency in cycles: normalize + LUT + iterations
+        /// (each iteration = 2 MAC ops) + denormalize.
+        int latency() const { return 2 + 2 * nr_iters + 1; }
+    };
+
+    Reciprocal();  // default configuration
+    explicit Reciprocal(const Config& config);
+
+    /// 1/W for a raw Q.exp_frac row sum; result is raw Q.inv_frac.
+    /// Precondition: w_raw > 0 (a softmax denominator is always positive).
+    InvRaw inv_raw(SumRaw w_raw) const;
+
+    /// Max relative error vs exact reciprocal over [lo, hi] (real values).
+    double max_rel_error(double lo, double hi, int samples = 10000) const;
+
+    const Config& config() const { return config_; }
+
+private:
+    Config config_;
+    std::vector<std::uint32_t> seed_q16_;  // initial 1/m estimates, Q.16
+};
+
+/// S' = exp * inv, renormalized to Q.sprime_frac with saturation. This is
+/// the stage-4 multiply every PE performs after the broadcast.
+SprimeRaw normalize_prob(ExpRaw exp_raw, InvRaw inv_raw);
+
+}  // namespace salo

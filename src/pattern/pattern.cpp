@@ -1,0 +1,183 @@
+#include "pattern/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace salo {
+
+HybridPattern::HybridPattern(int n, std::vector<Band> bands, std::vector<int> global_tokens,
+                             int grid_width)
+    : n_(n), bands_(std::move(bands)), globals_(std::move(global_tokens)),
+      grid_width_(grid_width) {
+    SALO_EXPECTS(n_ > 0);
+    SALO_EXPECTS(grid_width_ >= 0);
+    SALO_EXPECTS(grid_width_ == 0 || n_ % grid_width_ == 0);
+    for (const Band& b : bands_) {
+        SALO_EXPECTS(b.count >= 1);
+        SALO_EXPECTS(b.dilation >= 1);
+    }
+    std::sort(globals_.begin(), globals_.end());
+    globals_.erase(std::unique(globals_.begin(), globals_.end()), globals_.end());
+    for (int g : globals_) SALO_EXPECTS(g >= 0 && g < n_);
+}
+
+bool HybridPattern::is_global(int token) const {
+    return std::binary_search(globals_.begin(), globals_.end(), token);
+}
+
+bool HybridPattern::window_contains(int i, int j) const {
+    return first_band_index(i, j) >= 0;
+}
+
+int HybridPattern::first_band_index(int i, int j) const {
+    if (i < 0 || i >= n_ || j < 0 || j >= n_) return -1;
+    const int o = j - i;
+    for (std::size_t b = 0; b < bands_.size(); ++b) {
+        const Band& band = bands_[b];
+        if (!band.contains_offset(o)) continue;
+        if (grid_width_ > 0) {
+            // 2D validity: the x-offset must keep the key inside the image
+            // row (no wrap across the right/left edge of the patch grid).
+            const int dx = o - band.dy * grid_width_;
+            const int xi = i % grid_width_;
+            const int xj = xi + dx;
+            if (xj < 0 || xj >= grid_width_) continue;
+            // And the y-offset must keep the key inside the grid (the
+            // offset arithmetic guarantees this via the [0,n) check above,
+            // but x-wrap could alias a different dy; recheck explicitly).
+            if ((i / grid_width_) + band.dy != j / grid_width_) continue;
+        }
+        return static_cast<int>(b);
+    }
+    return -1;
+}
+
+bool HybridPattern::attends(int i, int j) const {
+    if (i < 0 || i >= n_ || j < 0 || j >= n_) return false;
+    if (is_global(i) || is_global(j)) return true;
+    return window_contains(i, j);
+}
+
+std::int64_t HybridPattern::nnz() const {
+    std::int64_t total = 0;
+    for (int i = 0; i < n_; ++i) {
+        if (is_global(i)) {
+            total += n_;
+            continue;
+        }
+        for (int j = 0; j < n_; ++j)
+            if (is_global(j) || window_contains(i, j)) ++total;
+    }
+    return total;
+}
+
+double HybridPattern::sparsity() const {
+    return static_cast<double>(nnz()) / (static_cast<double>(n_) * static_cast<double>(n_));
+}
+
+AttendFn HybridPattern::attend_fn() const {
+    return [this](int i, int j) { return attends(i, j); };
+}
+
+Matrix<std::uint8_t> HybridPattern::dense_mask() const {
+    SALO_EXPECTS(n_ <= 4096);  // guard: dense masks are for tests/visuals only
+    Matrix<std::uint8_t> m(n_, n_, 0);
+    for (int i = 0; i < n_; ++i)
+        for (int j = 0; j < n_; ++j)
+            if (attends(i, j)) m(i, j) = 1;
+    return m;
+}
+
+std::string HybridPattern::ascii_art(int max_dim) const {
+    SALO_EXPECTS(max_dim > 0);
+    const int dim = std::min(n_, max_dim);
+    const double step = static_cast<double>(n_) / dim;
+    std::ostringstream os;
+    for (int r = 0; r < dim; ++r) {
+        for (int c = 0; c < dim; ++c) {
+            // A display cell is "on" if any pattern element falls inside it.
+            const int i0 = static_cast<int>(r * step);
+            const int i1 = std::max(i0 + 1, static_cast<int>((r + 1) * step));
+            const int j0 = static_cast<int>(c * step);
+            const int j1 = std::max(j0 + 1, static_cast<int>((c + 1) * step));
+            bool on = false;
+            for (int i = i0; i < i1 && !on; ++i)
+                for (int j = j0; j < j1 && !on; ++j)
+                    if (attends(i, j)) on = true;
+            os << (on ? '#' : '.');
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+HybridPattern sliding_window(int n, int w, std::vector<int> global_tokens) {
+    SALO_EXPECTS(w >= 1);
+    const int a = -(w / 2);
+    return sliding_window_range(n, a, a + w - 1, std::move(global_tokens));
+}
+
+HybridPattern sliding_window_range(int n, int a, int b, std::vector<int> global_tokens) {
+    SALO_EXPECTS(b >= a);
+    return HybridPattern(n, {Band{a, b - a + 1, 1, 0}}, std::move(global_tokens));
+}
+
+HybridPattern dilated_window(int n, int a, int b, int dilation, std::vector<int> global_tokens) {
+    SALO_EXPECTS(b >= a);
+    SALO_EXPECTS(dilation >= 1);
+    return HybridPattern(n, {Band{a * dilation, b - a + 1, dilation, 0}},
+                         std::move(global_tokens));
+}
+
+HybridPattern longformer(int n, int w, int num_global) {
+    SALO_EXPECTS(num_global >= 0 && num_global <= n);
+    std::vector<int> globals(static_cast<std::size_t>(num_global));
+    for (int g = 0; g < num_global; ++g) globals[static_cast<std::size_t>(g)] = g;
+    return sliding_window(n, w, std::move(globals));
+}
+
+HybridPattern star_transformer(int n) {
+    // Ring attention: each token attends to its immediate neighbours and
+    // itself; the relay node (token 0) is global.
+    return sliding_window_range(n, -1, 1, {0});
+}
+
+HybridPattern sparse_transformer_strided(int n, int l) {
+    SALO_EXPECTS(l >= 1);
+    std::vector<Band> bands;
+    bands.push_back(Band{-(l - 1), 2 * l - 1, 1, 0});  // local band (both sides)
+    const int reach = (n - 1) / l;
+    if (reach > 0 && l > 1)
+        bands.push_back(Band{-reach * l, 2 * reach + 1, l, 0});  // strided column band
+    return HybridPattern(n, std::move(bands));
+}
+
+HybridPattern sparse_transformer_fixed(int n, int l) {
+    SALO_EXPECTS(l >= 1);
+    std::vector<int> globals;
+    for (int j = l - 1; j < n; j += l) globals.push_back(j);
+    return HybridPattern(n, {Band{-(l - 1), 2 * l - 1, 1, 0}}, std::move(globals));
+}
+
+HybridPattern vil_2d(int grid_h, int grid_w, int win_h, int win_w, int num_global) {
+    SALO_EXPECTS(grid_h >= 1 && grid_w >= 1);
+    SALO_EXPECTS(win_h >= 1 && win_w >= 1);
+    const int n = grid_h * grid_w;
+    std::vector<Band> bands;
+    bands.reserve(static_cast<std::size_t>(win_h));
+    const int dy_lo = -(win_h / 2);
+    const int dx_lo = -(win_w / 2);
+    for (int t = 0; t < win_h; ++t) {
+        const int dy = dy_lo + t;
+        bands.push_back(Band{dy * grid_w + dx_lo, win_w, 1, dy});
+    }
+    std::vector<int> globals(static_cast<std::size_t>(num_global));
+    for (int g = 0; g < num_global; ++g) globals[static_cast<std::size_t>(g)] = g;
+    return HybridPattern(n, std::move(bands), std::move(globals), grid_w);
+}
+
+}  // namespace salo

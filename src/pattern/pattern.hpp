@@ -1,0 +1,125 @@
+// Hybrid sparse attention patterns (paper §2.3).
+//
+// Every pattern SALO supports is expressed as a union of *bands* plus a set
+// of *global tokens*:
+//
+//   * A Band is a set of relative offsets o = j - i of the form
+//     lo, lo+dilation, ..., lo+(count-1)*dilation. dilation == 1 is the
+//     sliding-window attention; dilation > 1 is the dilated-window attention
+//     of Sparse-Transformer-style patterns and of the y-axis of 2D windows.
+//   * Global tokens attend to every key and are attended by every query.
+//
+// 2D patterns (ViL) set grid_width: the sequence is a row-major flattening
+// of an H x W patch grid, each band carries the y-offset (dy) it came from,
+// and x-boundary validity (the window must not wrap across image rows) is
+// checked in window_contains(). This is exactly the structure the paper's
+// data scheduler consumes: bands with dilation feed the reordering step,
+// band widths feed the window-splitting step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attention/golden.hpp"
+#include "common/assert.hpp"
+
+namespace salo {
+
+/// One diagonal band of relative offsets.
+struct Band {
+    int lo = 0;        ///< smallest offset (j - i)
+    int count = 1;     ///< number of offsets in the band
+    int dilation = 1;  ///< stride between consecutive offsets
+    int dy = 0;        ///< originating y-offset for 2D patterns (grid only)
+
+    int hi() const { return lo + (count - 1) * dilation; }
+
+    /// Does this band contain relative offset o?
+    bool contains_offset(int o) const {
+        if (o < lo || o > hi()) return false;
+        return (o - lo) % dilation == 0;
+    }
+};
+
+/// A hybrid sparse attention pattern over a sequence of length n.
+class HybridPattern {
+public:
+    HybridPattern(int n, std::vector<Band> bands, std::vector<int> global_tokens = {},
+                  int grid_width = 0);
+
+    int n() const { return n_; }
+    const std::vector<Band>& bands() const { return bands_; }
+    const std::vector<int>& global_tokens() const { return globals_; }
+    /// Non-zero for 2D patterns: width W of the row-major patch grid.
+    int grid_width() const { return grid_width_; }
+
+    bool is_global(int token) const;
+
+    /// Does the *window* part cover (i, j)? Excludes global-token coverage.
+    bool window_contains(int i, int j) const;
+
+    /// Index of the first band covering (i, j), or -1. The scheduler uses
+    /// this to assign overlapping band positions to exactly one tile.
+    int first_band_index(int i, int j) const;
+
+    /// Full pattern membership: window OR i global OR j global.
+    bool attends(int i, int j) const;
+
+    /// Number of attended (i, j) pairs; sparsity() = nnz / n^2 as reported
+    /// in the paper's Table 2.
+    std::int64_t nnz() const;
+    double sparsity() const;
+
+    /// Adapter for the golden masked_attention model.
+    AttendFn attend_fn() const;
+
+    /// Dense boolean mask (small n only; guards against accidental O(n^2)
+    /// blowups on long sequences).
+    Matrix<std::uint8_t> dense_mask() const;
+
+    /// Downsampled ASCII rendering in the style of the paper's Figure 2.
+    std::string ascii_art(int max_dim = 48) const;
+
+private:
+    int n_;
+    std::vector<Band> bands_;
+    std::vector<int> globals_;
+    int grid_width_;
+};
+
+// ---------------------------------------------------------------------------
+// Builders for the patterns surveyed in the paper (Figure 2) and evaluated
+// in its benchmarks (Table 2).
+// ---------------------------------------------------------------------------
+
+/// Symmetric sliding window of width w: offsets [-(w/2), w - w/2 - 1].
+/// (w=512 for Longformer: 256 keys on each side.)
+HybridPattern sliding_window(int n, int w, std::vector<int> global_tokens = {});
+
+/// Asymmetric sliding window with explicit relative range [a, b] (paper §2.3).
+HybridPattern sliding_window_range(int n, int a, int b, std::vector<int> global_tokens = {});
+
+/// Dilated window: offsets a*d, (a+1)*d, ..., b*d (paper §2.3).
+HybridPattern dilated_window(int n, int a, int b, int dilation,
+                             std::vector<int> global_tokens = {});
+
+/// Longformer (Figure 2a): symmetric sliding window + ng leading globals.
+HybridPattern longformer(int n, int w, int num_global = 1);
+
+/// Star-Transformer (Figure 2b): ring attention (w=3) + relay global token.
+HybridPattern star_transformer(int n);
+
+/// Sparse-Transformer strided (Figure 2c): local band of width l plus a
+/// dilated column band with stride l (non-causal variant).
+HybridPattern sparse_transformer_strided(int n, int l);
+
+/// Sparse-Transformer "fixed": local band of width l plus global columns at
+/// the last position of every l-block (expressed as global tokens).
+HybridPattern sparse_transformer_fixed(int n, int l);
+
+/// ViL-style 2D local window (wh x ww) over an H x W patch grid, flattened
+/// row-major, plus ng global tokens. Each image row of the window becomes a
+/// band at dy*W, and the dy offsets map onto SALO's dilated-window support.
+HybridPattern vil_2d(int grid_h, int grid_w, int win_h, int win_w, int num_global = 1);
+
+}  // namespace salo

@@ -1,0 +1,41 @@
+// Hardware geometry of the spatial accelerator (paper Table 1).
+//
+// Shared between the data scheduler (tile shapes, buffer-capacity checks),
+// the cycle-accurate simulator and the analytic performance models.
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+struct ArrayGeometry {
+    int rows = 32;  ///< PE array rows (#row): queries per tile
+    int cols = 32;  ///< PE array cols (#col): window keys per tile
+    int num_global_rows = 1;  ///< global PE rows (paper: 1)
+    int num_global_cols = 1;  ///< global PE columns (paper: 1)
+
+    int query_buffer_bytes = 16 * 1024;
+    int key_buffer_bytes = 32 * 1024;
+    int value_buffer_bytes = 32 * 1024;
+    int output_buffer_bytes = 32 * 1024;
+
+    double frequency_ghz = 1.0;  ///< synthesis result: 1 GHz
+
+    /// Distinct keys streamed diagonally through one tile.
+    int key_stream_length() const { return rows + cols - 1; }
+
+    /// Total processing elements (array + global row + global column).
+    int total_pes() const {
+        return rows * cols + num_global_rows * cols + num_global_cols * rows;
+    }
+
+    void validate() const {
+        SALO_EXPECTS(rows >= 1 && cols >= 1);
+        SALO_EXPECTS(num_global_rows >= 0 && num_global_cols >= 0);
+        SALO_EXPECTS(query_buffer_bytes > 0 && key_buffer_bytes > 0);
+        SALO_EXPECTS(value_buffer_bytes > 0 && output_buffer_bytes > 0);
+        SALO_EXPECTS(frequency_ghz > 0.0);
+    }
+};
+
+}  // namespace salo

@@ -1,0 +1,58 @@
+// Closed-form per-tile cycle counts for the 5-stage datapath (paper Fig. 6).
+//
+// These formulas are the contract between the cycle-accurate array model
+// (which derives the same numbers from an explicit per-cycle simulation) and
+// the analytic performance model used for full-size workloads; tests assert
+// they agree.
+#pragma once
+
+#include "numeric/reciprocal.hpp"
+#include "scheduler/geometry.hpp"
+#include "scheduler/tile.hpp"
+#include "sim/parts.hpp"
+
+namespace salo {
+
+struct CycleConfig {
+    int exp_cycles = 3;      ///< stage 2: y = x*log2e MAC, PWL MAC, shift
+    int broadcast_cycles = 1;///< stage 3: bus broadcast of 1/W back to the row
+    int stage4_cycles = 1;   ///< stage 4: parallel multiply
+    int wsm_cycles = 2;      ///< stage 5 tail: weighted-sum module pipeline
+    Reciprocal::Config recip;///< stage 3: reciprocal unit latency
+};
+
+/// Cycle counts for one tile with head dimension d.
+///
+///   stage 1: output-stationary systolic Q*K^T — d MACs per PE, skewed by
+///            row+column position: d + rows + cols_used - 2 cycles;
+///   stage 2: PWL exponential, all PEs in parallel;
+///   stage 3: row-ripple accumulation (cols_used) + reciprocal + broadcast;
+///   stage 4: one multiply;
+///   stage 5: weight-stationary S'*V — output elements exit the row after
+///            d + cols_used - 1 cycles, plus the weighted-sum pipeline.
+inline CycleBreakdown tile_cycles(const TileTask& tile, int head_dim,
+                                  const CycleConfig& cfg) {
+    const int rows = tile.rows();
+    const int cu = tile.cols_used() > 0 ? tile.cols_used() : 1;
+    CycleBreakdown b;
+    b.stage[0] = head_dim + rows + cu - 2;
+    b.stage[1] = cfg.exp_cycles;
+    b.stage[2] = cu + cfg.recip.latency() + cfg.broadcast_cycles;
+    b.stage[3] = cfg.stage4_cycles;
+    b.stage[4] = head_dim + cu - 1 + cfg.wsm_cycles;
+    return b;
+}
+
+/// Input bytes one tile loads into the double-buffered SRAMs: the query
+/// block (8-bit), the diagonal K and V streams, and the global column's
+/// key/value vectors. Shared by the engine and the analytic model.
+inline std::int64_t tile_load_bytes(const TileTask& tile, int head_dim) {
+    std::int64_t active_rows = 0;
+    for (auto qid : tile.query_ids) active_rows += qid >= 0 ? 1 : 0;
+    std::int64_t bytes = active_rows * head_dim;  // queries
+    bytes += static_cast<std::int64_t>(tile.total_stream_length()) * head_dim * 2;  // K+V
+    if (tile.global_col_key >= 0) bytes += 2 * head_dim;  // k_g + v_g
+    return bytes;
+}
+
+}  // namespace salo

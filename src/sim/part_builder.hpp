@@ -1,0 +1,25 @@
+// Shared construction of a normalized TilePart from raw scores — the
+// stage 2-5 datapath applied to one PE row (or to the global PE row/column).
+// Both the functional TileExecutor and the cycle-accurate array model call
+// this, so their outputs agree bit-for-bit by construction on the shared
+// stages; the cycle-accurate model re-derives stages 1/3/5 per cycle and is
+// cross-checked against this path by tests.
+#pragma once
+
+#include <vector>
+
+#include "numeric/pwl_exp.hpp"
+#include "numeric/reciprocal.hpp"
+#include "sim/parts.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Build the normalized output part for `query` given its raw scores and
+/// the key ids they belong to. Updates exp/MAC activity counters.
+TilePart build_part(const PwlExp& exp_unit, const Reciprocal& recip_unit,
+                    const Matrix<std::int8_t>& v, int query,
+                    const std::vector<ScoreRaw>& scores, const std::vector<int>& key_ids,
+                    ActivityStats& activity);
+
+}  // namespace salo

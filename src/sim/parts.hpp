@@ -1,0 +1,84 @@
+// Result and statistics types shared by the functional tile executor, the
+// cycle-accurate array model and the weighted-sum module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/datapath.hpp"
+
+namespace salo {
+
+/// One renormalizable output part (paper §4.2 / Eq. 2): a query's softmax
+/// weight W over some subset of its keys, and the already-normalized output
+/// vector for that subset, held at Q.wsm_frac precision.
+struct TilePart {
+    int query = -1;
+    SumRaw weight = 0;                  ///< W = sum of exp terms (Q.exp_frac)
+    std::vector<std::int32_t> out_q;    ///< normalized output, Q.wsm_frac
+};
+
+/// Per-stage cycle counts for one tile pass (paper Fig. 6's five stages).
+struct CycleBreakdown {
+    std::int64_t stage[5] = {0, 0, 0, 0, 0};
+
+    std::int64_t total() const {
+        std::int64_t t = 0;
+        for (std::int64_t s : stage) t += s;
+        return t;
+    }
+};
+
+/// Activity counters for utilization analysis.
+struct ActivityStats {
+    std::int64_t mac_ops = 0;        ///< useful MAC operations (stages 1 & 5)
+    std::int64_t exp_ops = 0;        ///< PWL exponential evaluations
+    std::int64_t valid_slots = 0;    ///< pattern elements computed
+    std::int64_t array_slots = 0;    ///< rows*cols per tile, summed
+    std::int64_t pe_cycles = 0;      ///< rows*cols*cycles, summed
+
+    /// Spatial occupancy: fraction of array slots holding useful work —
+    /// the utilization figure compared against Sanger in paper §6.3.
+    double occupancy() const {
+        return array_slots == 0 ? 0.0
+                                : static_cast<double>(valid_slots) /
+                                      static_cast<double>(array_slots);
+    }
+    /// Temporal MAC utilization: useful MAC ops over all PE-cycles (stricter;
+    /// includes skew fill/drain and the softmax stages).
+    double mac_utilization() const {
+        return pe_cycles == 0 ? 0.0
+                              : static_cast<double>(mac_ops) /
+                                    static_cast<double>(pe_cycles);
+    }
+
+    void operator+=(const ActivityStats& other) {
+        mac_ops += other.mac_ops;
+        exp_ops += other.exp_ops;
+        valid_slots += other.valid_slots;
+        array_slots += other.array_slots;
+        pe_cycles += other.pe_cycles;
+    }
+};
+
+/// Aggregated simulation statistics for a whole attention layer run.
+struct SimStats {
+    std::int64_t cycles = 0;
+    std::int64_t tiles = 0;
+    CycleBreakdown stage_totals;
+    ActivityStats activity;
+
+    double latency_ms(double frequency_ghz) const {
+        return static_cast<double>(cycles) / (frequency_ghz * 1e6);
+    }
+
+    void operator+=(const SimStats& other) {
+        cycles += other.cycles;
+        tiles += other.tiles;
+        for (int s = 0; s < 5; ++s) stage_totals.stage[s] += other.stage_totals.stage[s];
+        activity += other.activity;
+    }
+};
+
+}  // namespace salo

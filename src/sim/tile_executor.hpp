@@ -1,0 +1,49 @@
+// Functional (bit-accurate, untimed) execution of TileTasks.
+//
+// Runs the exact integer datapath of the PE array — stage-1 MAC
+// accumulation, PWL exponential, reciprocal broadcast, stage-4 normalize,
+// stage-5 weighted sum — plus the global PE row and global PE column, and
+// emits renormalizable TileParts. The cycle-accurate model produces
+// bit-identical values (it calls the same numeric kernels in a timed loop);
+// this class is the fast path used for full-layer runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/pwl_exp.hpp"
+#include "numeric/reciprocal.hpp"
+#include "scheduler/tile.hpp"
+#include "sim/parts.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+class TileExecutor {
+public:
+    /// q/k/v hold raw Q3.4 int8 values for one attention head (n x d).
+    TileExecutor(const PwlExp& exp_unit, const Reciprocal& recip_unit,
+                 const Matrix<std::int8_t>& q, const Matrix<std::int8_t>& k,
+                 const Matrix<std::int8_t>& v);
+
+    /// Execute one tile; appends the tile's output parts (PE-array rows,
+    /// global-column contributions, global-row contribution) to `parts` and
+    /// updates activity counters.
+    void run(const TileTask& tile, std::vector<TilePart>& parts,
+             ActivityStats& activity) const;
+
+    /// Stage-1 dot product: sum_t q[qi][t]*k[ki][t], raw Q.acc_frac.
+    ScoreRaw score(int qi, int ki) const;
+
+    int head_dim() const { return q_->cols(); }
+    int n() const { return q_->rows(); }
+
+private:
+    const PwlExp* exp_unit_;
+    const Reciprocal* recip_unit_;
+    const Matrix<std::int8_t>* q_;
+    const Matrix<std::int8_t>* k_;
+    const Matrix<std::int8_t>* v_;
+};
+
+}  // namespace salo

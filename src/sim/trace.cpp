@@ -1,0 +1,88 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace salo {
+
+std::string render_tile(const TileTask& tile) {
+    std::ostringstream os;
+    const int rows = tile.rows();
+    const int cols = tile.cols();
+    os << "tile: " << tile.segments.size() << " segment(s)";
+    for (const TileSegment& s : tile.segments)
+        os << " [band " << s.band << ": cols " << s.col_begin << ".." << s.col_end - 1
+           << ", key_base " << s.key_base << ", dilation " << s.dilation << "]";
+    if (tile.global_row_query >= 0) os << " global_row_q=" << tile.global_row_query;
+    if (tile.global_col_key >= 0) os << " global_col_k=" << tile.global_col_key;
+    os << "\n";
+    for (int r = 0; r < rows; ++r) {
+        const int q = tile.query_ids[static_cast<std::size_t>(r)];
+        os << (q >= 0 ? "q" + std::to_string(q) : std::string("--"));
+        os << "\t";
+        for (int c = 0; c < cols; ++c) {
+            // Mark segment boundaries for readability.
+            for (const TileSegment& s : tile.segments)
+                if (c == s.col_begin && c != 0) os << '|';
+            os << (tile.is_valid(r, c) ? '#' : '.');
+        }
+        if (!tile.global_col_rows.empty() &&
+            tile.global_col_rows[static_cast<std::size_t>(r)] != 0)
+            os << "  +g";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string render_plan(const SchedulePlan& plan, int max_tiles) {
+    std::ostringstream os;
+    os << "plan: n=" << plan.n << " head_dim=" << plan.head_dim << " tiles="
+       << plan.tiles.size() << " (window " << plan.stats.window_tiles << ", catch-up "
+       << plan.stats.catchup_tiles << "), occupancy "
+       << plan.stats.slot_occupancy() << "\n";
+    const int limit = std::min<int>(max_tiles, static_cast<int>(plan.tiles.size()));
+    for (int t = 0; t < limit; ++t) {
+        const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
+        int q_lo = -1, q_hi = -1;
+        for (auto q : tile.query_ids) {
+            if (q < 0) continue;
+            if (q_lo < 0) q_lo = q;
+            q_hi = q;
+        }
+        os << "  #" << t << ": q[" << q_lo << ".." << q_hi << "]";
+        for (const TileSegment& s : tile.segments)
+            os << " band" << s.band << "@" << s.key_base << "x" << s.width()
+               << (s.dilation > 1 ? "/d" + std::to_string(s.dilation) : "");
+        os << " valid=" << tile.num_valid_slots();
+        if (tile.global_row_query >= 0) os << " gr=" << tile.global_row_query;
+        if (tile.global_col_key >= 0) os << " gc=" << tile.global_col_key;
+        os << "\n";
+    }
+    if (limit < static_cast<int>(plan.tiles.size()))
+        os << "  ... " << plan.tiles.size() - static_cast<std::size_t>(limit)
+           << " more tiles\n";
+    return os.str();
+}
+
+std::string render_cycle_profile(const SchedulePlan& plan, const CycleConfig& config) {
+    CycleBreakdown total;
+    for (const TileTask& tile : plan.tiles) {
+        const CycleBreakdown b = tile_cycles(tile, plan.head_dim, config);
+        for (int s = 0; s < 5; ++s) total.stage[s] += b.stage[s];
+    }
+    const double sum = static_cast<double>(std::max<std::int64_t>(1, total.total()));
+    static const char* kNames[5] = {"stage1 Q*K^T", "stage2 exp", "stage3 sum+recip",
+                                    "stage4 normalize", "stage5 S'*V"};
+    std::ostringstream os;
+    os << "cycle profile (" << total.total() << " cycles/head over " << plan.tiles.size()
+       << " tiles):\n";
+    for (int s = 0; s < 5; ++s) {
+        const double frac = total.stage[s] / sum;
+        os << "  " << kNames[s] << ": " << total.stage[s] << " ("
+           << static_cast<int>(frac * 100.0 + 0.5) << "%) ";
+        os << std::string(static_cast<std::size_t>(frac * 40.0 + 0.5), '#') << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace salo

@@ -1,0 +1,25 @@
+// Human-readable rendering of schedules, tiles and cycle profiles — the
+// debugging lens for the data scheduler and the timing model. Used by the
+// pattern-explorer example and by anyone extending the scheduler.
+#pragma once
+
+#include <string>
+
+#include "scheduler/scheduler.hpp"
+#include "sim/cycle_formulas.hpp"
+
+namespace salo {
+
+/// ASCII view of one tile: query ids per row, segment boundaries, and the
+/// valid mask ('#' active, '.' masked; segments separated by '|').
+std::string render_tile(const TileTask& tile);
+
+/// One-line-per-tile summary of a plan (segments, valid slots, global
+/// work), capped at `max_tiles` lines.
+std::string render_plan(const SchedulePlan& plan, int max_tiles = 32);
+
+/// Aggregate per-stage cycle breakdown of the whole plan, as percentages —
+/// where the time goes across the 5-stage datapath.
+std::string render_cycle_profile(const SchedulePlan& plan, const CycleConfig& config);
+
+}  // namespace salo

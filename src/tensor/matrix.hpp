@@ -1,0 +1,145 @@
+// Minimal dense row-major matrix used throughout SALO: by golden attention
+// models (float), by the quantized datapath (int8/int16/int32 element types)
+// and by the workload generators. No external BLAS is available offline, so
+// matmul/reductions are implemented here with cache-friendly loop orders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace salo {
+
+/// Dense row-major matrix. Invariant: data().size() == rows()*cols().
+template <typename T>
+class Matrix {
+public:
+    Matrix() = default;
+
+    Matrix(int rows, int cols, T init = T{})
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), init) {
+        SALO_EXPECTS(rows >= 0 && cols >= 0);
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T& operator()(int r, int c) {
+        SALO_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+    const T& operator()(int r, int c) const {
+        SALO_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+
+    /// Mutable view of one row.
+    std::span<T> row(int r) {
+        SALO_EXPECTS(r >= 0 && r < rows_);
+        return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+                static_cast<std::size_t>(cols_)};
+    }
+    std::span<const T> row(int r) const {
+        SALO_EXPECTS(r >= 0 && r < rows_);
+        return {data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+                static_cast<std::size_t>(cols_)};
+    }
+
+    std::span<T> data() { return data_; }
+    std::span<const T> data() const { return data_; }
+
+    void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /// Elementwise transform into a new matrix (possibly different type).
+    template <typename U, typename Fn>
+    Matrix<U> map(Fn&& fn) const {
+        Matrix<U> out(rows_, cols_);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            out.data()[i] = fn(data_[i]);
+        return out;
+    }
+
+    bool operator==(const Matrix& other) const {
+        return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+    }
+
+private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<T> data_;
+};
+
+/// C = A * B (A: m x k, B: k x n). ikj loop order for row-major locality.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+    SALO_EXPECTS(a.cols() == b.rows());
+    Matrix<T> c(a.rows(), b.cols(), T{});
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int k = 0; k < a.cols(); ++k) {
+            const T aik = a(i, k);
+            if (aik == T{}) continue;
+            const auto brow = b.row(k);
+            auto crow = c.row(i);
+            for (int j = 0; j < b.cols(); ++j) crow[static_cast<std::size_t>(j)] +=
+                aik * brow[static_cast<std::size_t>(j)];
+        }
+    }
+    return c;
+}
+
+/// C = A * B^T (A: m x k, B: n x k) -> m x n. This is the Q*K^T shape.
+template <typename T>
+Matrix<T> matmul_nt(const Matrix<T>& a, const Matrix<T>& b) {
+    SALO_EXPECTS(a.cols() == b.cols());
+    Matrix<T> c(a.rows(), b.rows(), T{});
+    for (int i = 0; i < a.rows(); ++i) {
+        const auto arow = a.row(i);
+        for (int j = 0; j < b.rows(); ++j) {
+            const auto brow = b.row(j);
+            T acc{};
+            for (int k = 0; k < a.cols(); ++k)
+                acc += arow[static_cast<std::size_t>(k)] * brow[static_cast<std::size_t>(k)];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+    Matrix<T> t(a.cols(), a.rows());
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+    return t;
+}
+
+/// Gaussian-filled float matrix; the standard way tests/benches make Q/K/V.
+inline Matrix<float> random_matrix(int rows, int cols, Rng& rng, double mean = 0.0,
+                                   double stddev = 1.0) {
+    Matrix<float> m(rows, cols);
+    for (auto& v : m.data()) v = static_cast<float>(rng.normal(mean, stddev));
+    return m;
+}
+
+/// Max absolute elementwise difference; the standard test tolerance metric.
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+    SALO_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = std::abs(static_cast<double>(a.data()[i]) -
+                                  static_cast<double>(b.data()[i]));
+        worst = std::max(worst, d);
+    }
+    return worst;
+}
+
+}  // namespace salo

@@ -1,0 +1,79 @@
+#include "transformer/encoder.hpp"
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+MultiHeadAttention::MultiHeadAttention(int hidden, int num_heads, HybridPattern pattern,
+                                       Rng& rng)
+    : hidden_(hidden), num_heads_(num_heads), pattern_(std::move(pattern)),
+      q_proj_(Linear::random_init(hidden, hidden, rng)),
+      k_proj_(Linear::random_init(hidden, hidden, rng)),
+      v_proj_(Linear::random_init(hidden, hidden, rng)),
+      out_proj_(Linear::random_init(hidden, hidden, rng)) {
+    SALO_EXPECTS(num_heads >= 1);
+    SALO_EXPECTS(hidden % num_heads == 0);
+}
+
+Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, const SaloEngine& engine,
+                                          SimStats* stats) const {
+    SALO_EXPECTS(x.rows() == pattern_.n());
+    SALO_EXPECTS(x.cols() == hidden_);
+    const int n = x.rows();
+    const int d = head_dim();
+
+    const Matrix<float> q = q_proj_.forward(x);
+    const Matrix<float> k = k_proj_.forward(x);
+    const Matrix<float> v = v_proj_.forward(x);
+
+    // Split heads: head h takes columns [h*d, (h+1)*d).
+    Tensor3<float> qh(num_heads_, n, d), kh(num_heads_, n, d), vh(num_heads_, n, d);
+    for (int h = 0; h < num_heads_; ++h)
+        for (int i = 0; i < n; ++i)
+            for (int t = 0; t < d; ++t) {
+                qh[h](i, t) = q(i, h * d + t);
+                kh[h](i, t) = k(i, h * d + t);
+                vh[h](i, t) = v(i, h * d + t);
+            }
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    const LayerResult result = engine.run(pattern_, qh, kh, vh, scale);
+    if (stats != nullptr) *stats += result.stats;
+
+    // Gather heads and apply the output projection.
+    Matrix<float> gathered(n, hidden_);
+    for (int h = 0; h < num_heads_; ++h)
+        for (int i = 0; i < n; ++i)
+            for (int t = 0; t < d; ++t) gathered(i, h * d + t) = result.output[h](i, t);
+    return out_proj_.forward(gathered);
+}
+
+EncoderBlock::EncoderBlock(int hidden, int num_heads, int intermediate,
+                           HybridPattern pattern, Rng& rng)
+    : attention_(hidden, num_heads, std::move(pattern), rng), norm1_(hidden),
+      ffn_(hidden, intermediate, rng), norm2_(hidden) {}
+
+Matrix<float> EncoderBlock::forward(const Matrix<float>& x, const SaloEngine& engine,
+                                    SimStats* stats) const {
+    const Matrix<float> attended = attention_.forward(x, engine, stats);
+    const Matrix<float> h = norm1_.forward(add(x, attended));
+    const Matrix<float> ff = ffn_.forward(h);
+    return norm2_.forward(add(h, ff));
+}
+
+Encoder::Encoder(int num_layers, int hidden, int num_heads, int intermediate,
+                 HybridPattern pattern, Rng& rng) {
+    SALO_EXPECTS(num_layers >= 1);
+    blocks_.reserve(static_cast<std::size_t>(num_layers));
+    for (int l = 0; l < num_layers; ++l)
+        blocks_.emplace_back(hidden, num_heads, intermediate, pattern, rng);
+}
+
+Matrix<float> Encoder::forward(const Matrix<float>& x, const SaloEngine& engine,
+                               SimStats* stats) const {
+    Matrix<float> h = x;
+    for (const EncoderBlock& block : blocks_) h = block.forward(h, engine, stats);
+    return h;
+}
+
+}  // namespace salo

@@ -1,0 +1,78 @@
+// Multi-head attention and a full transformer encoder block (paper Fig. 1)
+// with the attention computation delegated to SALO.
+//
+// The block implements the standard post-norm encoder:
+//   h   = LayerNorm(x + MultiHeadAttention(x))
+//   out = LayerNorm(h + FFN(h))
+// where MultiHeadAttention projects x to Q/K/V, runs every head through the
+// simulated accelerator (or the float golden model, selected by the
+// engine's fidelity), and applies the output projection to the gathered
+// head outputs — exactly the integration story of paper §3.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "transformer/layers.hpp"
+
+namespace salo {
+
+class MultiHeadAttention {
+public:
+    /// hidden must be divisible by num_heads.
+    MultiHeadAttention(int hidden, int num_heads, HybridPattern pattern, Rng& rng);
+
+    int hidden() const { return hidden_; }
+    int num_heads() const { return num_heads_; }
+    int head_dim() const { return hidden_ / num_heads_; }
+    const HybridPattern& pattern() const { return pattern_; }
+
+    /// x: n x hidden -> n x hidden. Attention runs on `engine`; the
+    /// returned stats describe the accelerator work of this call.
+    Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
+                          SimStats* stats = nullptr) const;
+
+private:
+    int hidden_;
+    int num_heads_;
+    HybridPattern pattern_;
+    Linear q_proj_;
+    Linear k_proj_;
+    Linear v_proj_;
+    Linear out_proj_;
+};
+
+class EncoderBlock {
+public:
+    EncoderBlock(int hidden, int num_heads, int intermediate, HybridPattern pattern,
+                 Rng& rng);
+
+    Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
+                          SimStats* stats = nullptr) const;
+
+    const MultiHeadAttention& attention() const { return attention_; }
+
+private:
+    MultiHeadAttention attention_;
+    LayerNorm norm1_;
+    FeedForward ffn_;
+    LayerNorm norm2_;
+};
+
+/// A stack of encoder blocks sharing one attention pattern (a Longformer/
+/// ViL-style encoder).
+class Encoder {
+public:
+    Encoder(int num_layers, int hidden, int num_heads, int intermediate,
+            HybridPattern pattern, Rng& rng);
+
+    int num_layers() const { return static_cast<int>(blocks_.size()); }
+
+    Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
+                          SimStats* stats = nullptr) const;
+
+private:
+    std::vector<EncoderBlock> blocks_;
+};
+
+}  // namespace salo

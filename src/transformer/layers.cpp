@@ -1,0 +1,92 @@
+#include "transformer/layers.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+Linear::Linear(int in_features, int out_features)
+    : weight_(out_features, in_features, 0.0f),
+      bias_(static_cast<std::size_t>(out_features), 0.0f) {
+    SALO_EXPECTS(in_features >= 1 && out_features >= 1);
+}
+
+Linear Linear::random_init(int in_features, int out_features, Rng& rng) {
+    Linear layer(in_features, out_features);
+    const double bound = std::sqrt(6.0 / (in_features + out_features));
+    for (auto& w : layer.weight_.data())
+        w = static_cast<float>(rng.uniform(-bound, bound));
+    return layer;
+}
+
+Matrix<float> Linear::forward(const Matrix<float>& x) const {
+    SALO_EXPECTS(x.cols() == in_features());
+    Matrix<float> y = matmul_nt(x, weight_);
+    for (int i = 0; i < y.rows(); ++i) {
+        auto row = y.row(i);
+        for (int j = 0; j < y.cols(); ++j)
+            row[static_cast<std::size_t>(j)] += bias_[static_cast<std::size_t>(j)];
+    }
+    return y;
+}
+
+LayerNorm::LayerNorm(int features, float epsilon)
+    : gamma_(static_cast<std::size_t>(features), 1.0f),
+      beta_(static_cast<std::size_t>(features), 0.0f), epsilon_(epsilon) {
+    SALO_EXPECTS(features >= 1);
+    SALO_EXPECTS(epsilon > 0.0f);
+}
+
+Matrix<float> LayerNorm::forward(const Matrix<float>& x) const {
+    SALO_EXPECTS(x.cols() == features());
+    Matrix<float> y(x.rows(), x.cols());
+    const int d = x.cols();
+    for (int i = 0; i < x.rows(); ++i) {
+        const auto row = x.row(i);
+        double mean = 0.0;
+        for (float v : row) mean += v;
+        mean /= d;
+        double var = 0.0;
+        for (float v : row) var += (v - mean) * (v - mean);
+        var /= d;
+        const double inv = 1.0 / std::sqrt(var + epsilon_);
+        auto out = y.row(i);
+        for (int j = 0; j < d; ++j)
+            out[static_cast<std::size_t>(j)] = static_cast<float>(
+                (row[static_cast<std::size_t>(j)] - mean) * inv *
+                    gamma_[static_cast<std::size_t>(j)] +
+                beta_[static_cast<std::size_t>(j)]);
+    }
+    return y;
+}
+
+Matrix<float> gelu(const Matrix<float>& x) {
+    constexpr float kSqrt2OverPi = 0.7978845608028654f;
+    return x.map<float>([](float v) {
+        const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(inner));
+    });
+}
+
+Matrix<float> relu(const Matrix<float>& x) {
+    return x.map<float>([](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Matrix<float> add(const Matrix<float>& a, const Matrix<float>& b) {
+    SALO_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+    Matrix<float> y(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        y.data()[i] = a.data()[i] + b.data()[i];
+    return y;
+}
+
+FeedForward::FeedForward(int hidden, int intermediate, Rng& rng)
+    : up_(Linear::random_init(hidden, intermediate, rng)),
+      down_(Linear::random_init(intermediate, hidden, rng)) {}
+
+Matrix<float> FeedForward::forward(const Matrix<float>& x) const {
+    return down_.forward(gelu(up_.forward(x)));
+}
+
+}  // namespace salo

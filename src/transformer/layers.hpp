@@ -1,0 +1,79 @@
+// Float transformer layers surrounding the attention block (paper Fig. 1):
+// linear projections, LayerNorm, GELU, the feed-forward network, residual
+// connections. SALO accelerates the attention; these layers are the
+// substrate that turns an accelerated attention head into a full encoder
+// block whose output "will be gathered and regarded as the input of next
+// block like FFN" (paper §3).
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace salo {
+
+/// Fully-connected layer: y = x W^T + b (W: out x in, row-major).
+class Linear {
+public:
+    Linear(int in_features, int out_features);
+
+    /// Xavier-uniform initialization with a deterministic seed.
+    static Linear random_init(int in_features, int out_features, Rng& rng);
+
+    int in_features() const { return weight_.cols(); }
+    int out_features() const { return weight_.rows(); }
+
+    Matrix<float>& weight() { return weight_; }
+    const Matrix<float>& weight() const { return weight_; }
+    std::vector<float>& bias() { return bias_; }
+    const std::vector<float>& bias() const { return bias_; }
+
+    /// x: n x in -> n x out.
+    Matrix<float> forward(const Matrix<float>& x) const;
+
+private:
+    Matrix<float> weight_;     // out x in
+    std::vector<float> bias_;  // out
+};
+
+/// Layer normalization over the last dimension with learnable gain/bias.
+class LayerNorm {
+public:
+    explicit LayerNorm(int features, float epsilon = 1e-5f);
+
+    int features() const { return static_cast<int>(gamma_.size()); }
+    std::vector<float>& gamma() { return gamma_; }
+    std::vector<float>& beta() { return beta_; }
+
+    Matrix<float> forward(const Matrix<float>& x) const;
+
+private:
+    std::vector<float> gamma_;
+    std::vector<float> beta_;
+    float epsilon_;
+};
+
+/// Elementwise GELU (tanh approximation, as used by BERT/Longformer).
+Matrix<float> gelu(const Matrix<float>& x);
+
+/// Elementwise ReLU.
+Matrix<float> relu(const Matrix<float>& x);
+
+/// y = a + b (shape-checked residual add).
+Matrix<float> add(const Matrix<float>& a, const Matrix<float>& b);
+
+/// Position-wise feed-forward network: Linear -> GELU -> Linear.
+class FeedForward {
+public:
+    FeedForward(int hidden, int intermediate, Rng& rng);
+
+    Matrix<float> forward(const Matrix<float>& x) const;
+
+    const Linear& up() const { return up_; }
+    const Linear& down() const { return down_; }
+
+private:
+    Linear up_;
+    Linear down_;
+};
+
+}  // namespace salo

@@ -1,0 +1,99 @@
+#include "workload/quant_study.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace salo {
+
+namespace {
+
+/// Mean-pool the attention output and classify by nearest prototype.
+int classify(const Matrix<float>& attention_out, const Matrix<float>& prototypes) {
+    const int d = attention_out.cols();
+    std::vector<double> pooled(static_cast<std::size_t>(d), 0.0);
+    for (int i = 0; i < attention_out.rows(); ++i)
+        for (int t = 0; t < d; ++t)
+            pooled[static_cast<std::size_t>(t)] += attention_out(i, t);
+    for (double& p : pooled) p /= attention_out.rows();
+
+    int best = 0;
+    double best_dot = -1e300;
+    for (int c = 0; c < prototypes.rows(); ++c) {
+        double dot = 0.0;
+        for (int t = 0; t < d; ++t)
+            dot += pooled[static_cast<std::size_t>(t)] * prototypes(c, t);
+        if (dot > best_dot) {
+            best_dot = dot;
+            best = c;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+QuantStudyResult run_quant_study(const QuantStudyConfig& study, const SaloConfig& config) {
+    SALO_EXPECTS(study.num_classes >= 2 && study.num_samples >= 1);
+    Rng rng(study.seed);
+
+    // Unit-norm class prototypes.
+    Matrix<float> prototypes(study.num_classes, study.head_dim);
+    for (int c = 0; c < study.num_classes; ++c) {
+        double norm = 0.0;
+        for (int t = 0; t < study.head_dim; ++t) {
+            const double v = rng.normal();
+            prototypes(c, t) = static_cast<float>(v);
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (int t = 0; t < study.head_dim; ++t)
+            prototypes(c, t) = static_cast<float>(prototypes(c, t) / norm *
+                                                  study.prototype_scale);
+    }
+
+    const HybridPattern pattern = sliding_window(study.n, study.window, {0});
+    SaloConfig quant_config = config;
+    quant_config.fidelity = Fidelity::kFunctional;
+    const SaloEngine engine(quant_config);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(study.head_dim));
+
+    int correct_original = 0;
+    int correct_quantized = 0;
+    for (int s = 0; s < study.num_samples; ++s) {
+        const int label = static_cast<int>(rng.uniform_index(
+            static_cast<std::uint64_t>(study.num_classes)));
+        Matrix<float> tokens(study.n, study.head_dim);
+        for (int i = 0; i < study.n; ++i) {
+            // Confuser tokens carry a uniformly random class prototype; the
+            // sample is decided by the (noisy) majority, so samples near
+            // the decision boundary occur at a controlled rate.
+            const int token_class =
+                rng.uniform() < study.confuser_prob
+                    ? static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(study.num_classes)))
+                    : label;
+            for (int t = 0; t < study.head_dim; ++t)
+                tokens(i, t) = prototypes(token_class, t) +
+                               static_cast<float>(rng.normal(0.0, study.noise));
+        }
+
+        // Self-attention with identity projections: Q = K = V = tokens.
+        const Matrix<float> original =
+            SaloEngine::golden(pattern, tokens, tokens, tokens, scale);
+        const Matrix<float> quantized =
+            engine.run_head(pattern, tokens, tokens, tokens, scale).output;
+
+        if (classify(original, prototypes) == label) ++correct_original;
+        if (classify(quantized, prototypes) == label) ++correct_quantized;
+    }
+
+    QuantStudyResult result;
+    result.accuracy_original =
+        100.0 * correct_original / static_cast<double>(study.num_samples);
+    result.accuracy_quantized =
+        100.0 * correct_quantized / static_cast<double>(study.num_samples);
+    return result;
+}
+
+}  // namespace salo

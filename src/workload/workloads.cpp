@@ -1,0 +1,74 @@
+#include "workload/workloads.hpp"
+
+namespace salo {
+
+AttentionWorkload longformer_base_4096() {
+    return AttentionWorkload{
+        .name = "Longformer",
+        .pattern = longformer(4096, 512, 1),
+        .heads = 12,
+        .head_dim = 64,
+        .window = 512,
+        .paper_sparsity = 0.125,
+    };
+}
+
+AttentionWorkload vil_stage1() {
+    return AttentionWorkload{
+        .name = "ViL-stage1",
+        .pattern = vil_2d(56, 56, 15, 15, 1),
+        .heads = 3,  // hidden 192 at d=64
+        .head_dim = 64,
+        .window = 15 * 15,
+        .paper_sparsity = 0.072,
+    };
+}
+
+AttentionWorkload vil_stage2() {
+    return AttentionWorkload{
+        .name = "ViL-stage2",
+        .pattern = vil_2d(28, 28, 15, 15, 1),
+        .heads = 6,  // hidden 384 at d=64
+        .head_dim = 64,
+        .window = 15 * 15,
+        .paper_sparsity = 0.288,
+    };
+}
+
+std::vector<AttentionWorkload> paper_workloads() {
+    return {longformer_base_4096(), vil_stage1(), vil_stage2()};
+}
+
+AttentionWorkload bert_base(int n) {
+    // Full attention: a single band covering every relative offset.
+    return AttentionWorkload{
+        .name = "BERT-base(n=" + std::to_string(n) + ")",
+        .pattern = sliding_window_range(n, -(n - 1), n - 1),
+        .heads = 12,
+        .head_dim = 64,
+        .window = n,
+        .paper_sparsity = 1.0,
+    };
+}
+
+AttentionWorkload longformer_small(int n, int w, int heads, int head_dim, int num_global) {
+    return AttentionWorkload{
+        .name = "Longformer-small",
+        .pattern = longformer(n, w, num_global),
+        .heads = heads,
+        .head_dim = head_dim,
+        .window = w,
+        .paper_sparsity = static_cast<double>(w) / n,
+    };
+}
+
+QkvSet make_qkv(const AttentionWorkload& workload, std::uint64_t seed, double stddev) {
+    Rng rng(seed);
+    QkvSet set;
+    set.q = random_tensor3(workload.heads, workload.n(), workload.head_dim, rng, stddev);
+    set.k = random_tensor3(workload.heads, workload.n(), workload.head_dim, rng, stddev);
+    set.v = random_tensor3(workload.heads, workload.n(), workload.head_dim, rng, stddev);
+    return set;
+}
+
+}  // namespace salo

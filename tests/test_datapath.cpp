@@ -1,0 +1,107 @@
+// Bit-level properties of the shared datapath helpers: rounding shifts,
+// probability normalization bounds, and cross-format consistency.
+#include <gtest/gtest.h>
+
+#include "numeric/datapath.hpp"
+#include "numeric/pwl_exp.hpp"
+#include "numeric/reciprocal.hpp"
+
+namespace salo {
+namespace {
+
+TEST(RoundShift, ExactMultiplesAreExact) {
+    for (std::int64_t v : {-4096, -256, -16, 0, 16, 256, 4096})
+        EXPECT_EQ(round_shift(v, 4), v / 16) << v;
+}
+
+TEST(RoundShift, RoundsToNearest) {
+    EXPECT_EQ(round_shift(17, 4), 1);   // 1.0625 -> 1
+    EXPECT_EQ(round_shift(25, 4), 2);   // 1.5625 -> 2
+    EXPECT_EQ(round_shift(-17, 4), -1);
+    EXPECT_EQ(round_shift(-25, 4), -2);
+}
+
+TEST(RoundShift, TiesAwayFromZero) {
+    EXPECT_EQ(round_shift(24, 4), 2);    // 1.5 -> 2
+    EXPECT_EQ(round_shift(-24, 4), -2);  // -1.5 -> -2
+    EXPECT_EQ(round_shift(8, 4), 1);     // 0.5 -> 1
+    EXPECT_EQ(round_shift(-8, 4), -1);
+}
+
+TEST(RoundShift, Symmetry) {
+    // round_shift(-v) == -round_shift(v) for all v (no floor bias).
+    for (std::int64_t v = 0; v < 1000; v += 7)
+        EXPECT_EQ(round_shift(-v, 3), -round_shift(v, 3)) << v;
+}
+
+TEST(RoundShift, NegativeShiftWidens) {
+    EXPECT_EQ(round_shift(3, -2), 12);
+    EXPECT_EQ(round_shift(-3, -2), -12);
+    EXPECT_EQ(round_shift(5, 0), 5);
+}
+
+TEST(RoundShift, ErrorBoundedByHalfLsb) {
+    for (std::int64_t v = -500; v <= 500; v += 3) {
+        const double exact = static_cast<double>(v) / 8.0;
+        const double rounded = static_cast<double>(round_shift(v, 3));
+        EXPECT_LE(std::abs(rounded - exact), 0.5 + 1e-12) << v;
+    }
+}
+
+TEST(NormalizeProbBounds, NeverExceedsSaturation) {
+    const Reciprocal recip;
+    // For any exp <= W, S' stays within [0, 1] + rounding slack.
+    for (ExpRaw e : {ExpRaw{1}, ExpRaw{100}, ExpRaw{1u << 14}, ExpRaw{1u << 20},
+                     ExpRaw{1u << 30}}) {
+        for (std::uint64_t mult : {1ull, 2ull, 7ull, 63ull}) {
+            const SumRaw w = static_cast<SumRaw>(e) * mult;
+            const InvRaw inv = recip.inv_raw(w);
+            const double sp = static_cast<double>(normalize_prob(e, inv)) /
+                              (1 << Datapath::sprime_frac);
+            EXPECT_GE(sp, 0.0);
+            EXPECT_LE(sp, 1.001);
+            EXPECT_NEAR(sp, 1.0 / static_cast<double>(mult), 0.01);
+        }
+    }
+}
+
+TEST(DatapathLayout, FracPositionsAreConsistent) {
+    // The stage-5 accumulator (sprime + in) must have at least wsm_frac
+    // bits so the renormalizing shift is non-negative, and the WSM's final
+    // emission must shrink to out_frac.
+    static_assert(Datapath::sprime_frac + Datapath::in_frac >= Datapath::wsm_frac);
+    static_assert(Datapath::wsm_frac >= Datapath::out_frac);
+    static_assert(Datapath::exp_frac + Datapath::inv_frac >= Datapath::sprime_frac);
+    static_assert(Datapath::acc_frac == 2 * Datapath::in_frac);
+    SUCCEED();
+}
+
+TEST(PwlExpVsReciprocal, SelfNormalizationIsOne) {
+    // exp(x) / exp(x) == 1 through the full quantized pipeline.
+    const PwlExp exp_unit;
+    const Reciprocal recip;
+    for (ScoreRaw x = -1024; x <= 1024; x += 64) {
+        const ExpRaw e = exp_unit.exp_raw(x);
+        if (e == 0) continue;
+        const InvRaw inv = recip.inv_raw(e);
+        const double sp = static_cast<double>(normalize_prob(e, inv)) /
+                          (1 << Datapath::sprime_frac);
+        EXPECT_NEAR(sp, 1.0, 0.005) << "x=" << x;
+    }
+}
+
+TEST(PwlExpVsReciprocal, SoftmaxOfEqualScoresIsUniform) {
+    const PwlExp exp_unit;
+    const Reciprocal recip;
+    for (int count : {2, 5, 16, 32}) {
+        const ExpRaw e = exp_unit.exp_raw(300);  // arbitrary positive score
+        const SumRaw w = static_cast<SumRaw>(e) * static_cast<SumRaw>(count);
+        const InvRaw inv = recip.inv_raw(w);
+        const double sp = static_cast<double>(normalize_prob(e, inv)) /
+                          (1 << Datapath::sprime_frac);
+        EXPECT_NEAR(sp, 1.0 / count, 0.005) << "count=" << count;
+    }
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,56 @@
+#include "numeric/error_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace salo {
+namespace {
+
+TEST(ErrorStats, IdenticalTensors) {
+    Rng rng(1);
+    const auto a = random_matrix(4, 5, rng);
+    const auto s = compare(a, a);
+    EXPECT_DOUBLE_EQ(s.max_abs, 0.0);
+    EXPECT_DOUBLE_EQ(s.mse, 0.0);
+    EXPECT_NEAR(s.cosine, 1.0, 1e-12);
+    EXPECT_TRUE(std::isinf(s.snr_db));
+}
+
+TEST(ErrorStats, KnownDifference) {
+    Matrix<float> a(1, 2), b(1, 2);
+    a(0, 0) = 3.0f;
+    a(0, 1) = 4.0f;
+    b(0, 0) = 3.0f;
+    b(0, 1) = 3.0f;  // error 1 in one of two entries
+    const auto s = compare(a, b);
+    EXPECT_DOUBLE_EQ(s.max_abs, 1.0);
+    EXPECT_DOUBLE_EQ(s.mse, 0.5);
+    EXPECT_NEAR(s.rmse(), std::sqrt(0.5), 1e-12);
+    // SNR = 10 log10(|a|^2 / |a-b|^2) = 10 log10(25 / 1).
+    EXPECT_NEAR(s.snr_db, 10.0 * std::log10(25.0), 1e-9);
+}
+
+TEST(ErrorStats, OppositeVectorsHaveCosineMinusOne) {
+    Matrix<float> a(1, 3, 1.0f);
+    Matrix<float> b(1, 3, -1.0f);
+    EXPECT_NEAR(compare(a, b).cosine, -1.0, 1e-12);
+}
+
+TEST(ErrorStats, SmallPerturbationHighSnr) {
+    Rng rng(2);
+    const auto a = random_matrix(16, 16, rng);
+    auto b = a;
+    for (auto& v : b.data()) v += static_cast<float>(rng.normal(0.0, 1e-3));
+    const auto s = compare(a, b);
+    EXPECT_GT(s.snr_db, 40.0);
+    EXPECT_GT(s.cosine, 0.999);
+}
+
+TEST(ErrorStats, RejectsShapeMismatch) {
+    Matrix<float> a(2, 2), b(2, 3);
+    EXPECT_THROW(compare(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,55 @@
+#include "numeric/fake_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "numeric/fixed.hpp"
+
+namespace salo {
+namespace {
+
+TEST(FakeQuant, MatchesFixedFormatGrid) {
+    // fake_quantize(3, 4) must agree with the compile-time InputFx (Q3.4)
+    // on every representable point and on rounding behaviour.
+    for (double x = -9.0; x <= 9.0; x += 0.0173) {
+        const float fake = fake_quantize_value(static_cast<float>(x), 3, 4);
+        const float fixed = InputFx::from_float(x).to_float();
+        EXPECT_FLOAT_EQ(fake, fixed) << "x=" << x;
+    }
+}
+
+TEST(FakeQuant, Saturates) {
+    EXPECT_FLOAT_EQ(fake_quantize_value(100.0f, 3, 4), 7.9375f);
+    EXPECT_FLOAT_EQ(fake_quantize_value(-100.0f, 3, 4), -8.0f);
+    EXPECT_FLOAT_EQ(fake_quantize_value(std::nanf(""), 3, 4), 0.0f);
+}
+
+TEST(FakeQuant, FinerGridSmallerError) {
+    Rng rng(1);
+    const auto m = random_matrix(16, 16, rng, 0.0, 1.0);
+    double prev = 1e9;
+    for (int frac : {2, 4, 6, 8}) {
+        const auto q = fake_quantize(m, 3, frac);
+        const double err = max_abs_diff(m, q);
+        EXPECT_LE(err, std::ldexp(1.0, -frac - 1) + 1e-9);
+        EXPECT_LT(err, prev);
+        prev = err;
+    }
+}
+
+TEST(FakeQuant, IdempotentOnGridValues) {
+    Rng rng(2);
+    const auto m = random_matrix(8, 8, rng);
+    const auto once = fake_quantize(m, 2, 5);
+    const auto twice = fake_quantize(once, 2, 5);
+    EXPECT_DOUBLE_EQ(max_abs_diff(once, twice), 0.0);
+}
+
+TEST(FakeQuant, RejectsBadFormats) {
+    EXPECT_THROW(fake_quantize_value(1.0f, -1, 4), ContractViolation);
+    EXPECT_THROW(fake_quantize_value(1.0f, 0, 0), ContractViolation);
+    EXPECT_THROW(fake_quantize_value(1.0f, 20, 20), ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo

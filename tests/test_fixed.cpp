@@ -1,0 +1,98 @@
+#include "numeric/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace salo {
+namespace {
+
+TEST(Fixed, InputFormatMatchesPaper) {
+    // Paper §6.4: 8 bits total, 4 fraction bits.
+    EXPECT_EQ(InputFx::frac_bits, 4);
+    EXPECT_EQ(InputFx::int_bits + InputFx::frac_bits + 1, 8);
+    EXPECT_DOUBLE_EQ(InputFx::resolution(), 1.0 / 16.0);
+}
+
+TEST(Fixed, OutputFormatIs16Bit) {
+    EXPECT_EQ(sizeof(OutputFx::storage_type), 2u);
+    EXPECT_EQ(OutputFx::int_bits + OutputFx::frac_bits + 1, 16);
+}
+
+TEST(Fixed, RoundTripExactValues) {
+    // Multiples of the resolution survive the round trip exactly.
+    for (int raw = -128; raw <= 127; ++raw) {
+        const double v = raw / 16.0;
+        EXPECT_DOUBLE_EQ(InputFx::from_float(v).to_double(), v) << "raw=" << raw;
+    }
+}
+
+TEST(Fixed, RoundsToNearest) {
+    EXPECT_DOUBLE_EQ(InputFx::from_float(0.031).to_double(), 0.0);     // 0.496 -> 0
+    EXPECT_DOUBLE_EQ(InputFx::from_float(0.047).to_double(), 0.0625);  // 0.752 -> 1
+    EXPECT_DOUBLE_EQ(InputFx::from_float(0.09).to_double(), 0.0625);   // 1.44 -> 1
+    EXPECT_DOUBLE_EQ(InputFx::from_float(0.10).to_double(), 0.125);    // 1.6 -> 2
+    EXPECT_DOUBLE_EQ(InputFx::from_float(-0.10).to_double(), -0.125);
+}
+
+TEST(Fixed, SaturatesAtFormatBounds) {
+    EXPECT_EQ(InputFx::from_float(100.0).raw(), InputFx::raw_max);
+    EXPECT_EQ(InputFx::from_float(-100.0).raw(), InputFx::raw_min);
+    EXPECT_DOUBLE_EQ(InputFx::from_float(1e30).to_double(), 127.0 / 16.0);
+    EXPECT_DOUBLE_EQ(InputFx::from_float(-1e30).to_double(), -8.0);
+}
+
+TEST(Fixed, NanQuantizesToZero) {
+    EXPECT_EQ(InputFx::from_float(std::nan("")).raw(), 0);
+}
+
+TEST(Fixed, SaturatingAddition) {
+    const auto a = InputFx::from_float(7.0);
+    const auto b = InputFx::from_float(6.0);
+    EXPECT_EQ((a + b).raw(), InputFx::raw_max);  // 13 > 7.9375 saturates
+    const auto c = InputFx::from_float(-7.0);
+    EXPECT_EQ((c + c).raw(), InputFx::raw_min);
+    EXPECT_DOUBLE_EQ((InputFx::from_float(1.5) + InputFx::from_float(2.25)).to_double(),
+                     3.75);
+}
+
+TEST(Fixed, SubtractionAndNegation) {
+    EXPECT_DOUBLE_EQ(
+        (InputFx::from_float(3.0) - InputFx::from_float(4.5)).to_double(), -1.5);
+    EXPECT_DOUBLE_EQ((-InputFx::from_float(2.5)).to_double(), -2.5);
+    // Negating the minimum saturates (two's complement asymmetry).
+    EXPECT_EQ((-InputFx::min()).raw(), InputFx::raw_max);
+}
+
+TEST(Fixed, MulRawHasFullPrecision) {
+    const auto a = InputFx::from_float(1.5);   // raw 24
+    const auto b = InputFx::from_float(-2.25); // raw -36
+    EXPECT_EQ(a.mul_raw(b), -864);             // Q.8 of -3.375
+    EXPECT_DOUBLE_EQ(static_cast<double>(a.mul_raw(b)) / 256.0, -3.375);
+}
+
+TEST(Fixed, MulToRenormalizes) {
+    using Acc = Fixed<23, 8, std::int32_t>;
+    const auto a = InputFx::from_float(1.5);
+    const auto b = InputFx::from_float(-2.25);
+    EXPECT_DOUBLE_EQ((a.mul_to<Acc>(b)).to_double(), -3.375);
+    // Renormalizing into the input format rounds.
+    EXPECT_DOUBLE_EQ((a.mul_to<InputFx>(b)).to_double(), -3.375);
+}
+
+TEST(Fixed, Comparisons) {
+    EXPECT_LT(InputFx::from_float(1.0), InputFx::from_float(2.0));
+    EXPECT_EQ(InputFx::from_float(0.5), InputFx::from_float(0.5));
+    EXPECT_GT(InputFx::from_float(-1.0), InputFx::from_float(-2.0));
+}
+
+TEST(Fixed, QuantizationErrorBound) {
+    // |quantize(x) - x| <= resolution/2 inside the representable range.
+    for (double x = -7.9; x < 7.9; x += 0.0137) {
+        const double err = std::abs(InputFx::from_float(x).to_double() - x);
+        EXPECT_LE(err, InputFx::resolution() / 2 + 1e-12) << "x=" << x;
+    }
+}
+
+}  // namespace
+}  // namespace salo

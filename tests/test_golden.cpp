@@ -1,0 +1,132 @@
+#include "attention/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace salo {
+namespace {
+
+TEST(Softmax, RowSumsToOne) {
+    Rng rng(1);
+    Matrix<float> m = random_matrix(1, 50, rng, 0.0, 3.0);
+    softmax_row_inplace(m.row(0));
+    double sum = 0.0;
+    for (float v : m.row(0)) {
+        EXPECT_GE(v, 0.0f);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(Softmax, StableForLargeScores) {
+    Matrix<float> m(1, 3);
+    m(0, 0) = 1000.0f;
+    m(0, 1) = 999.0f;
+    m(0, 2) = -1000.0f;
+    softmax_row_inplace(m.row(0));
+    EXPECT_NEAR(m(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+    EXPECT_FALSE(std::isnan(m(0, 0)));
+    EXPECT_NEAR(m(0, 2), 0.0f, 1e-6);
+}
+
+TEST(Softmax, UniformScoresGiveUniformWeights) {
+    Matrix<float> m(1, 8, 2.5f);
+    softmax_row_inplace(m.row(0));
+    for (float v : m.row(0)) EXPECT_NEAR(v, 0.125f, 1e-6);
+}
+
+TEST(DenseAttention, SingleKeyReturnsItsValue) {
+    // n=1: softmax over one element is 1, output = v.
+    Matrix<float> q(1, 4, 0.3f), k(1, 4, -0.7f), v(1, 4);
+    for (int t = 0; t < 4; ++t) v(0, t) = static_cast<float>(t);
+    const Matrix<float> out = dense_attention(q, k, v, 0.5f);
+    for (int t = 0; t < 4; ++t) EXPECT_NEAR(out(0, t), v(0, t), 1e-6);
+}
+
+TEST(DenseAttention, OutputIsConvexCombinationOfValues) {
+    Rng rng(2);
+    const auto q = random_matrix(6, 8, rng);
+    const auto k = random_matrix(6, 8, rng);
+    const auto v = random_matrix(6, 8, rng);
+    const Matrix<float> out = dense_attention(q, k, v, 0.35f);
+    for (int i = 0; i < out.rows(); ++i) {
+        for (int t = 0; t < out.cols(); ++t) {
+            float lo = 1e30f, hi = -1e30f;
+            for (int j = 0; j < v.rows(); ++j) {
+                lo = std::min(lo, v(j, t));
+                hi = std::max(hi, v(j, t));
+            }
+            EXPECT_GE(out(i, t), lo - 1e-5);
+            EXPECT_LE(out(i, t), hi + 1e-5);
+        }
+    }
+}
+
+TEST(MaskedAttention, FullMaskEqualsDense) {
+    Rng rng(3);
+    const auto q = random_matrix(7, 8, rng);
+    const auto k = random_matrix(7, 8, rng);
+    const auto v = random_matrix(7, 8, rng);
+    const auto dense = dense_attention(q, k, v, 0.35f);
+    const auto masked = masked_attention(q, k, v, 0.35f, [](int, int) { return true; });
+    EXPECT_LT(max_abs_diff(dense, masked), 1e-5);
+}
+
+TEST(MaskedAttention, EmptyRowGivesZeros) {
+    Rng rng(4);
+    const auto q = random_matrix(3, 4, rng);
+    const auto k = random_matrix(3, 4, rng);
+    const auto v = random_matrix(3, 4, rng);
+    const auto out =
+        masked_attention(q, k, v, 1.0f, [](int i, int) { return i != 1; });
+    for (int t = 0; t < 4; ++t) EXPECT_FLOAT_EQ(out(1, t), 0.0f);
+    // Other rows are unaffected non-zero results.
+    double mag = 0.0;
+    for (int t = 0; t < 4; ++t) mag += std::abs(out(0, t));
+    EXPECT_GT(mag, 0.0);
+}
+
+TEST(MaskedAttention, DiagonalMaskSelectsOwnValue) {
+    Rng rng(5);
+    const auto q = random_matrix(5, 4, rng);
+    const auto k = random_matrix(5, 4, rng);
+    const auto v = random_matrix(5, 4, rng);
+    const auto out = masked_attention(q, k, v, 1.0f, [](int i, int j) { return i == j; });
+    for (int i = 0; i < 5; ++i)
+        for (int t = 0; t < 4; ++t) EXPECT_NEAR(out(i, t), v(i, t), 1e-6);
+}
+
+TEST(MaskedAttention, MatchesManualTwoKeyComputation) {
+    Matrix<float> q(1, 2), k(2, 2), v(2, 2);
+    q(0, 0) = 1.0f;
+    q(0, 1) = 0.0f;
+    k(0, 0) = 1.0f;
+    k(0, 1) = 0.0f;  // score 1
+    k(1, 0) = -1.0f;
+    k(1, 1) = 0.0f;  // score -1
+    v(0, 0) = 1.0f;
+    v(0, 1) = 0.0f;
+    v(1, 0) = 0.0f;
+    v(1, 1) = 1.0f;
+    const auto out = masked_attention(q, k, v, 1.0f,
+                                      [](int, int) { return true; });
+    const double w0 = std::exp(1.0) / (std::exp(1.0) + std::exp(-1.0));
+    EXPECT_NEAR(out(0, 0), w0, 1e-6);
+    EXPECT_NEAR(out(0, 1), 1.0 - w0, 1e-6);
+}
+
+TEST(ScoreMatrix, AppliesScale) {
+    Rng rng(6);
+    const auto q = random_matrix(3, 4, rng);
+    const auto k = random_matrix(3, 4, rng);
+    const auto s1 = score_matrix(q, k, 1.0f);
+    const auto s2 = score_matrix(q, k, 0.25f);
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_NEAR(s2.data()[i], s1.data()[i] * 0.25f, 1e-5);
+}
+
+}  // namespace
+}  // namespace salo

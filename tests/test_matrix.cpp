@@ -1,0 +1,106 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "tensor/tensor3.hpp"
+
+namespace salo {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+    Matrix<float> m(3, 4, 1.5f);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_FLOAT_EQ(m(2, 3), 1.5f);
+    m(1, 2) = -2.0f;
+    EXPECT_FLOAT_EQ(m(1, 2), -2.0f);
+}
+
+TEST(Matrix, BoundsChecked) {
+    Matrix<int> m(2, 2);
+    EXPECT_THROW(m(2, 0), ContractViolation);
+    EXPECT_THROW(m(0, -1), ContractViolation);
+    EXPECT_THROW(m.row(5), ContractViolation);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+    Matrix<int> m(2, 3, 0);
+    auto r = m.row(1);
+    r[2] = 42;
+    EXPECT_EQ(m(1, 2), 42);
+    const auto& cm = m;
+    EXPECT_EQ(cm.row(1)[2], 42);
+}
+
+TEST(Matrix, MatmulSmallKnown) {
+    Matrix<int> a(2, 3);
+    Matrix<int> b(3, 2);
+    int v = 1;
+    for (auto& x : a.data()) x = v++;
+    v = 1;
+    for (auto& x : b.data()) x = v++;
+    const Matrix<int> c = matmul(a, b);
+    // a = [1 2 3; 4 5 6], b = [1 2; 3 4; 5 6] -> c = [22 28; 49 64]
+    EXPECT_EQ(c(0, 0), 22);
+    EXPECT_EQ(c(0, 1), 28);
+    EXPECT_EQ(c(1, 0), 49);
+    EXPECT_EQ(c(1, 1), 64);
+}
+
+TEST(Matrix, MatmulNtMatchesMatmulTranspose) {
+    Rng rng(7);
+    const Matrix<float> a = random_matrix(5, 8, rng);
+    const Matrix<float> b = random_matrix(6, 8, rng);
+    const Matrix<float> direct = matmul_nt(a, b);
+    const Matrix<float> via_t = matmul(a, transpose(b));
+    EXPECT_LT(max_abs_diff(direct, via_t), 1e-5);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+    Matrix<float> a(2, 3);
+    Matrix<float> b(4, 2);
+    EXPECT_THROW(matmul(a, b), ContractViolation);
+    EXPECT_THROW(matmul_nt(a, Matrix<float>(2, 5)), ContractViolation);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+    Rng rng(3);
+    const Matrix<float> a = random_matrix(4, 7, rng);
+    const Matrix<float> tt = transpose(transpose(a));
+    EXPECT_TRUE(a == tt);
+}
+
+TEST(Matrix, MapChangesTypeAndValue) {
+    Matrix<float> m(2, 2, 1.25f);
+    const Matrix<int> doubled = m.map<int>([](float v) { return static_cast<int>(v * 4); });
+    EXPECT_EQ(doubled(1, 1), 5);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+    Matrix<float> a(2, 2, 1.0f);
+    Matrix<float> b(2, 2, 1.0f);
+    b(1, 0) = -2.0f;
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+}
+
+TEST(Tensor3, ShapeAndSlices) {
+    Tensor3<float> t(3, 4, 5);
+    EXPECT_EQ(t.count(), 3);
+    EXPECT_EQ(t.rows(), 4);
+    EXPECT_EQ(t.cols(), 5);
+    t[2](3, 4) = 9.0f;
+    EXPECT_FLOAT_EQ(t[2](3, 4), 9.0f);
+    EXPECT_THROW(t[3], ContractViolation);
+}
+
+TEST(Tensor3, RandomIsDeterministicPerSeed) {
+    Rng rng1(42), rng2(42);
+    const auto a = random_tensor3(2, 3, 4, rng1);
+    const auto b = random_tensor3(2, 3, 4, rng2);
+    for (int h = 0; h < 2; ++h) EXPECT_TRUE(a[h] == b[h]);
+}
+
+}  // namespace
+}  // namespace salo

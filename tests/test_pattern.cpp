@@ -1,0 +1,197 @@
+#include "pattern/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace salo {
+namespace {
+
+TEST(Band, OffsetsAndContainment) {
+    const Band b{-4, 3, 2, 0};  // offsets -4, -2, 0
+    EXPECT_EQ(b.hi(), 0);
+    EXPECT_TRUE(b.contains_offset(-4));
+    EXPECT_TRUE(b.contains_offset(-2));
+    EXPECT_TRUE(b.contains_offset(0));
+    EXPECT_FALSE(b.contains_offset(-3));
+    EXPECT_FALSE(b.contains_offset(2));
+    EXPECT_FALSE(b.contains_offset(-6));
+}
+
+TEST(SlidingWindow, SymmetricCoverage) {
+    const auto p = sliding_window(16, 4);  // offsets -2..1
+    EXPECT_TRUE(p.attends(8, 6));
+    EXPECT_TRUE(p.attends(8, 9));
+    EXPECT_FALSE(p.attends(8, 10));
+    EXPECT_FALSE(p.attends(8, 5));
+    EXPECT_TRUE(p.attends(8, 8));
+}
+
+TEST(SlidingWindow, ClipsAtSequenceEdges) {
+    const auto p = sliding_window(8, 6);  // offsets -3..2
+    EXPECT_FALSE(p.attends(0, -1));
+    EXPECT_TRUE(p.attends(0, 0));
+    EXPECT_TRUE(p.attends(0, 2));
+    EXPECT_TRUE(p.attends(7, 4));
+    EXPECT_FALSE(p.attends(7, 8));
+}
+
+TEST(SlidingWindowRange, PaperDefinition) {
+    // Paper §2.3: given [a, b], q_i attends k_j iff a <= j - i <= b.
+    const auto p = sliding_window_range(32, -1, 3);
+    for (int i = 4; i < 28; ++i)
+        for (int j = 0; j < 32; ++j)
+            EXPECT_EQ(p.attends(i, j), j - i >= -1 && j - i <= 3) << i << "," << j;
+}
+
+TEST(DilatedWindow, OnlyMultiplesOfDilation) {
+    // a=-2, b=2, d=3: offsets -6, -3, 0, 3, 6.
+    const auto p = dilated_window(32, -2, 2, 3);
+    EXPECT_TRUE(p.attends(15, 9));
+    EXPECT_TRUE(p.attends(15, 12));
+    EXPECT_TRUE(p.attends(15, 15));
+    EXPECT_TRUE(p.attends(15, 18));
+    EXPECT_TRUE(p.attends(15, 21));
+    EXPECT_FALSE(p.attends(15, 14));
+    EXPECT_FALSE(p.attends(15, 16));
+    EXPECT_FALSE(p.attends(15, 10));
+}
+
+TEST(Longformer, GlobalTokensAttendEverywhere) {
+    const auto p = longformer(64, 8, 2);
+    for (int j = 0; j < 64; ++j) {
+        EXPECT_TRUE(p.attends(0, j));
+        EXPECT_TRUE(p.attends(1, j));
+        EXPECT_TRUE(p.attends(j, 0));
+        EXPECT_TRUE(p.attends(j, 1));
+    }
+    EXPECT_TRUE(p.is_global(0));
+    EXPECT_TRUE(p.is_global(1));
+    EXPECT_FALSE(p.is_global(2));
+    // Non-global far pair is not attended.
+    EXPECT_FALSE(p.attends(10, 40));
+}
+
+TEST(Longformer, SparsityNearPaperValue) {
+    // Table 2: w/n = 512/4096 = 0.125 (paper ignores edge clipping and the
+    // global token; our exact count must be close).
+    const auto p = longformer(1024, 128, 1);
+    EXPECT_NEAR(p.sparsity(), 128.0 / 1024.0, 0.01);
+}
+
+TEST(StarTransformer, RingPlusRelay) {
+    const auto p = star_transformer(32);
+    EXPECT_TRUE(p.attends(10, 9));
+    EXPECT_TRUE(p.attends(10, 10));
+    EXPECT_TRUE(p.attends(10, 11));
+    EXPECT_FALSE(p.attends(10, 12));
+    EXPECT_TRUE(p.attends(10, 0));   // relay column
+    EXPECT_TRUE(p.attends(0, 20));   // relay row
+}
+
+TEST(SparseTransformerStrided, LocalPlusStride) {
+    const int l = 4;
+    const auto p = sparse_transformer_strided(64, l);
+    // Local band.
+    EXPECT_TRUE(p.attends(20, 17));
+    EXPECT_TRUE(p.attends(20, 23));
+    // Strided column band: offsets multiple of l.
+    EXPECT_TRUE(p.attends(20, 12));
+    EXPECT_TRUE(p.attends(20, 36));
+    EXPECT_FALSE(p.attends(20, 26));
+    EXPECT_FALSE(p.attends(20, 37));
+}
+
+TEST(SparseTransformerFixed, GlobalColumnsAtBlockEnds) {
+    const auto p = sparse_transformer_fixed(32, 8);
+    EXPECT_TRUE(p.is_global(7));
+    EXPECT_TRUE(p.is_global(15));
+    EXPECT_TRUE(p.is_global(31));
+    EXPECT_FALSE(p.is_global(8));
+    EXPECT_TRUE(p.attends(2, 7));    // everyone sees block summaries
+    EXPECT_FALSE(p.attends(2, 12));  // outside local band, not global
+}
+
+TEST(Vil2d, WindowIsTwoDimensional) {
+    const auto p = vil_2d(8, 8, 3, 3, 0);
+    const auto at = [&](int yi, int xi, int yj, int xj) {
+        return p.attends(yi * 8 + xi, yj * 8 + xj);
+    };
+    EXPECT_TRUE(at(4, 4, 3, 3));
+    EXPECT_TRUE(at(4, 4, 5, 5));
+    EXPECT_TRUE(at(4, 4, 4, 4));
+    EXPECT_FALSE(at(4, 4, 2, 4));  // dy = -2 outside 3x3
+    EXPECT_FALSE(at(4, 4, 4, 6));  // dx = +2 outside 3x3
+}
+
+TEST(Vil2d, NoWrapAcrossImageRows) {
+    const auto p = vil_2d(8, 8, 3, 3, 0);
+    // Patch (2, 7) is at the right edge; its flattened neighbour (3, 0)
+    // must NOT be attended even though the flattened offset matches dx=+1.
+    EXPECT_FALSE(p.attends(2 * 8 + 7, 2 * 8 + 8));  // = (3,0)
+    // And the left-edge mirror case.
+    EXPECT_FALSE(p.attends(3 * 8 + 0, 3 * 8 - 1));  // = (2,7)
+}
+
+TEST(Vil2d, SparsityNearPaperValue) {
+    // Table 2 quotes 15^2/56^2 = 0.072 for stage 1 (edge effects ignored).
+    const auto p = vil_2d(28, 28, 7, 7, 1);
+    EXPECT_NEAR(p.sparsity(), 49.0 / 784.0, 0.02);
+}
+
+TEST(Pattern, NnzCountsGlobalRowsAndCols) {
+    const int n = 16;
+    const auto p = sliding_window(n, 2, {5});
+    // Window offsets: -1, 0. Expected nnz: count pairs explicitly.
+    std::int64_t expected = 0;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (p.attends(i, j)) ++expected;
+    EXPECT_EQ(p.nnz(), expected);
+}
+
+TEST(Pattern, FirstBandIndexDedupsOverlaps) {
+    // Two overlapping bands: offsets {0,1} and {1,2}. Offset 1 belongs to
+    // the first band only.
+    const HybridPattern p(16, {Band{0, 2, 1, 0}, Band{1, 2, 1, 0}});
+    EXPECT_EQ(p.first_band_index(5, 6), 0);
+    EXPECT_EQ(p.first_band_index(5, 5), 0);
+    EXPECT_EQ(p.first_band_index(5, 7), 1);
+    EXPECT_EQ(p.first_band_index(5, 8), -1);
+}
+
+TEST(Pattern, AsciiArtShape) {
+    const auto p = sliding_window(16, 4);
+    const auto art = p.ascii_art(16);
+    // 16 lines of 16 chars.
+    int lines = 0;
+    for (char c : art)
+        if (c == '\n') ++lines;
+    EXPECT_EQ(lines, 16);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(Pattern, DenseMaskMatchesAttends) {
+    const auto p = longformer(24, 6, 1);
+    const auto mask = p.dense_mask();
+    for (int i = 0; i < 24; ++i)
+        for (int j = 0; j < 24; ++j)
+            EXPECT_EQ(mask(i, j) != 0, p.attends(i, j)) << i << "," << j;
+}
+
+TEST(Pattern, RejectsBadArguments) {
+    EXPECT_THROW(HybridPattern(0, {}), ContractViolation);
+    EXPECT_THROW(HybridPattern(8, {Band{0, 0, 1, 0}}), ContractViolation);
+    EXPECT_THROW(HybridPattern(8, {Band{0, 1, 0, 0}}), ContractViolation);
+    EXPECT_THROW(HybridPattern(8, {}, {9}), ContractViolation);
+    EXPECT_THROW(HybridPattern(9, {}, {}, 2), ContractViolation);  // n % grid
+}
+
+TEST(Pattern, GlobalTokensDeduplicatedAndSorted) {
+    const HybridPattern p(16, {Band{0, 1, 1, 0}}, {7, 3, 7, 3});
+    ASSERT_EQ(p.global_tokens().size(), 2u);
+    EXPECT_EQ(p.global_tokens()[0], 3);
+    EXPECT_EQ(p.global_tokens()[1], 7);
+}
+
+}  // namespace
+}  // namespace salo

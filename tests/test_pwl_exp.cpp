@@ -1,0 +1,114 @@
+#include "numeric/pwl_exp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace salo {
+namespace {
+
+TEST(PwlExp, ExactAtZero) {
+    const PwlExp unit;
+    // exp(0) = 1: the chord interpolation is exact at segment endpoints.
+    EXPECT_DOUBLE_EQ(unit.exp_value(0.0), 1.0);
+}
+
+TEST(PwlExp, ExactAtIntegerPowersOfTwoExponent) {
+    const PwlExp unit;
+    // Inputs x = k*ln2 give y = k exactly representable -> result 2^k, up to
+    // the Q.8 input quantization of x itself.
+    for (int k = -6; k <= 6; ++k) {
+        const double x = k * std::log(2.0);
+        const double got = unit.exp_value(x);
+        const double ref = std::exp2(k);
+        EXPECT_NEAR(got / ref, 1.0, 0.02) << "k=" << k;
+    }
+}
+
+TEST(PwlExp, RelativeErrorBoundDefaultConfig) {
+    const PwlExp unit;  // 8 segments
+    // Over the score range that matters after 1/sqrt(d) scaling. The error
+    // budget includes Q.8 input quantization (about 2^-8 relative) plus the
+    // PWL chord error.
+    EXPECT_LT(unit.max_rel_error(-4.0, 8.0), 0.015);
+    // Very negative inputs hit the Q.14 output resolution floor: exp(-8) is
+    // only ~5.5 output LSBs, so the relative error is dominated by output
+    // quantization (up to half an LSB on a ~5-LSB value, ~10 %). Such terms
+    // carry almost no softmax mass, so this does not affect outputs.
+    EXPECT_LT(unit.max_rel_error(-8.0, 8.0), 0.10);
+}
+
+TEST(PwlExp, MoreSegmentsReduceError) {
+    double prev = 1.0;
+    for (int seg_bits : {1, 3, 5}) {
+        PwlExp::Config cfg;
+        cfg.seg_bits = seg_bits;
+        const PwlExp unit(cfg);
+        // Measure pure PWL error on [0, ln2) where the shift is constant
+        // and input quantization is mild.
+        const double err = unit.max_rel_error(0.01, 0.69);
+        EXPECT_LT(err, prev) << "seg_bits=" << seg_bits;
+        prev = err;
+    }
+}
+
+TEST(PwlExp, MonotoneNondecreasingOnGrid) {
+    const PwlExp unit;
+    ExpRaw prev = 0;
+    for (ScoreRaw raw = -2048; raw <= 2048; raw += 8) {
+        const ExpRaw cur = unit.exp_raw(raw);
+        EXPECT_GE(cur, prev) << "raw=" << raw;
+        prev = cur;
+    }
+}
+
+TEST(PwlExp, UnderflowsToZeroForVeryNegative) {
+    const PwlExp unit;
+    // x = -25: y ~ -36 < y_min clamp -> result essentially 0 at Q.14.
+    EXPECT_EQ(unit.exp_raw(static_cast<ScoreRaw>(-25 * 256)), 0u);
+}
+
+TEST(PwlExp, SaturatesForVeryPositive) {
+    const PwlExp unit;
+    // Clamped at y_max = 15 -> 2^15 at Q.14 = 2^29.
+    const ExpRaw top = unit.exp_raw(static_cast<ScoreRaw>(30 * 256));
+    EXPECT_GE(top, (1u << 29));
+    // And monotone saturation: even larger input gives the same value.
+    EXPECT_EQ(unit.exp_raw(static_cast<ScoreRaw>(100 * 256)), top);
+}
+
+TEST(PwlExp, ContinuousAcrossSegmentBoundaries) {
+    const PwlExp unit;
+    // The chord construction is exact at both segment endpoints, so values
+    // just left/right of a boundary must be close.
+    for (int seg = 1; seg < unit.segments(); ++seg) {
+        const double f = static_cast<double>(seg) / unit.segments();
+        const double x = f * std::log(2.0);
+        const double left = unit.exp_value(x - 1e-3);
+        const double right = unit.exp_value(x + 1e-3);
+        EXPECT_NEAR(left, right, 0.02) << "segment " << seg;
+    }
+}
+
+TEST(PwlExp, RejectsBadConfig) {
+    PwlExp::Config cfg;
+    cfg.seg_bits = -1;
+    EXPECT_THROW(PwlExp{cfg}, ContractViolation);
+    cfg = {};
+    cfg.y_max = 40;  // shifter would overflow 32-bit exp values
+    EXPECT_THROW(PwlExp{cfg}, ContractViolation);
+}
+
+TEST(PwlExp, ErrorScalesWithLutPrecision) {
+    PwlExp::Config coarse;
+    coarse.lut_frac = 6;
+    PwlExp::Config fine;
+    fine.lut_frac = 14;
+    EXPECT_GT(PwlExp(coarse).max_rel_error(0.01, 0.69),
+              PwlExp(fine).max_rel_error(0.01, 0.69));
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,60 @@
+#include "workload/quant_study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace salo {
+namespace {
+
+SaloConfig small_config() {
+    SaloConfig c;
+    c.geometry.rows = 8;
+    c.geometry.cols = 8;
+    return c;
+}
+
+TEST(QuantStudy, QuantizationPreservesAccuracy) {
+    // The Table 3 claim: fixed-point SALO matches float accuracy closely.
+    QuantStudyConfig study;
+    study.n = 48;
+    study.head_dim = 16;
+    study.window = 8;
+    study.num_samples = 80;
+    const auto result = run_quant_study(study, small_config());
+    EXPECT_GT(result.accuracy_original, 65.0);  // task is learnable
+    EXPECT_LT(result.accuracy_original, 100.0); // and not trivial
+    EXPECT_NEAR(result.accuracy_quantized, result.accuracy_original, 5.0);
+}
+
+TEST(QuantStudy, DeterministicPerSeed) {
+    QuantStudyConfig study;
+    study.n = 32;
+    study.head_dim = 8;
+    study.window = 8;
+    study.num_samples = 20;
+    const auto a = run_quant_study(study, small_config());
+    const auto b = run_quant_study(study, small_config());
+    EXPECT_DOUBLE_EQ(a.accuracy_original, b.accuracy_original);
+    EXPECT_DOUBLE_EQ(a.accuracy_quantized, b.accuracy_quantized);
+}
+
+TEST(QuantStudy, EasyTaskIsNearPerfect) {
+    QuantStudyConfig study;
+    study.n = 32;
+    study.head_dim = 8;
+    study.window = 8;
+    study.noise = 0.2;
+    study.confuser_prob = 0.2;  // strong signal
+    study.num_samples = 30;
+    const auto result = run_quant_study(study, small_config());
+    EXPECT_GT(result.accuracy_original, 95.0);
+    EXPECT_GT(result.accuracy_quantized, 95.0);
+}
+
+TEST(QuantStudy, RejectsBadConfig) {
+    QuantStudyConfig study;
+    study.num_classes = 1;
+    EXPECT_THROW(run_quant_study(study, small_config()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,103 @@
+#include "numeric/reciprocal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace salo {
+namespace {
+
+double inv_to_double(InvRaw raw) {
+    return static_cast<double>(raw) /
+           static_cast<double>(std::int64_t{1} << Datapath::inv_frac);
+}
+
+TEST(Reciprocal, ExactPowersOfTwo) {
+    const Reciprocal unit;
+    // W = 2^k has mantissa exactly 1.0; the seed/NR path must be near-exact.
+    for (int k = -10; k <= 20; ++k) {
+        const double w = std::exp2(k);
+        const auto raw = static_cast<SumRaw>(std::llround(w * (1 << Datapath::exp_frac)));
+        if (raw == 0) continue;
+        EXPECT_NEAR(inv_to_double(unit.inv_raw(raw)) * w, 1.0, 2e-3) << "k=" << k;
+    }
+}
+
+TEST(Reciprocal, RelativeErrorBoundTwoIterations) {
+    const Reciprocal unit;  // 2 NR iterations
+    EXPECT_LT(unit.max_rel_error(0.01, 1000.0), 1e-3);
+}
+
+TEST(Reciprocal, IterationsImproveAccuracy) {
+    double prev = 1.0;
+    for (int iters : {0, 1, 2}) {
+        Reciprocal::Config cfg;
+        cfg.nr_iters = iters;
+        const double err = Reciprocal(cfg).max_rel_error(0.5, 500.0);
+        EXPECT_LT(err, prev) << "iters=" << iters;
+        prev = err;
+    }
+    EXPECT_LT(prev, 1e-3);
+}
+
+TEST(Reciprocal, LatencyGrowsWithIterations) {
+    Reciprocal::Config a;
+    a.nr_iters = 1;
+    Reciprocal::Config b;
+    b.nr_iters = 3;
+    EXPECT_LT(a.latency(), b.latency());
+}
+
+TEST(Reciprocal, RejectsZero) {
+    const Reciprocal unit;
+    EXPECT_THROW(unit.inv_raw(0), ContractViolation);
+}
+
+TEST(Reciprocal, SmallestAndLargeInputs) {
+    const Reciprocal unit;
+    // Smallest representable sum: raw 1 = 2^-14 -> inverse 2^14.
+    EXPECT_NEAR(inv_to_double(unit.inv_raw(1)), 16384.0, 16384.0 * 2e-3);
+    // The largest physically reachable sum: 63 saturated exponentials of
+    // 2^31 raw each is below 2^37.
+    const SumRaw big = (SumRaw{1} << 36) + 12345;
+    const double w = static_cast<double>(big) / (1 << Datapath::exp_frac);
+    EXPECT_NEAR(inv_to_double(unit.inv_raw(big)) * w, 1.0, 2e-3);
+}
+
+TEST(NormalizeProb, FullMassIsOne) {
+    // exp == W -> S' == 1.0 in Q.15.
+    const ExpRaw e = 1u << Datapath::exp_frac;
+    const Reciprocal unit;
+    const InvRaw inv = unit.inv_raw(static_cast<SumRaw>(e));
+    EXPECT_NEAR(static_cast<double>(normalize_prob(e, inv)) /
+                    (1 << Datapath::sprime_frac),
+                1.0, 2e-3);
+}
+
+TEST(NormalizeProb, HalfMass) {
+    const ExpRaw e = 1u << Datapath::exp_frac;
+    const Reciprocal unit;
+    const InvRaw inv = unit.inv_raw(static_cast<SumRaw>(e) * 2);
+    EXPECT_NEAR(static_cast<double>(normalize_prob(e, inv)) /
+                    (1 << Datapath::sprime_frac),
+                0.5, 2e-3);
+}
+
+TEST(NormalizeProb, ProbabilitiesSumToOne) {
+    // Random exp values: normalized values must sum to ~1.
+    const Reciprocal unit;
+    std::vector<ExpRaw> exps = {12, 3444, 987654, 1u << 20, 77, 4096000, 5, 31231};
+    SumRaw w = 0;
+    for (ExpRaw e : exps) w += e;
+    const InvRaw inv = unit.inv_raw(w);
+    double total = 0.0;
+    for (ExpRaw e : exps)
+        total += static_cast<double>(normalize_prob(e, inv)) /
+                 (1 << Datapath::sprime_frac);
+    EXPECT_NEAR(total, 1.0, 5e-3);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace salo {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(2);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(3);
+    double sum = 0.0, sq = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / trials, 0.0, 0.02);
+    EXPECT_NEAR(sq / trials, 1.0, 0.03);
+}
+
+TEST(Rng, UniformIndexBounds) {
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+    EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, SampleIndicesDistinctSortedInRange) {
+    Rng rng(5);
+    const auto idx = rng.sample_indices(100, 10);
+    ASSERT_EQ(idx.size(), 10u);
+    std::set<int> seen;
+    int prev = -1;
+    for (int i : idx) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, 100);
+        EXPECT_GT(i, prev);  // sorted strictly increasing
+        prev = i;
+        seen.insert(i);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleAllElements) {
+    Rng rng(6);
+    const auto idx = rng.sample_indices(5, 5);
+    ASSERT_EQ(idx.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(idx[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace salo

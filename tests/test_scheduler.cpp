@@ -1,0 +1,222 @@
+#include "scheduler/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace salo {
+namespace {
+
+ArrayGeometry small_geometry(int rows = 8, int cols = 8) {
+    ArrayGeometry g;
+    g.rows = rows;
+    g.cols = cols;
+    return g;
+}
+
+void expect_covered(const HybridPattern& pattern, const ArrayGeometry& geometry,
+                    int head_dim, PackingMode packing = PackingMode::kPacked) {
+    ScheduleOptions options;
+    options.packing = packing;
+    const SchedulePlan plan = schedule(pattern, geometry, head_dim, options);
+    std::string error;
+    EXPECT_TRUE(verify_coverage(pattern, plan, &error)) << error;
+}
+
+TEST(Scheduler, SlidingWindowExactCoverage) {
+    expect_covered(sliding_window(64, 8), small_geometry(), 16);
+}
+
+TEST(Scheduler, SlidingWindowWithGlobalsExactCoverage) {
+    expect_covered(longformer(64, 8, 1), small_geometry(), 16);
+    expect_covered(longformer(64, 8, 2), small_geometry(), 16);
+}
+
+TEST(Scheduler, AsymmetricWindowExactCoverage) {
+    expect_covered(sliding_window_range(48, 0, 5), small_geometry(), 8);
+    expect_covered(sliding_window_range(48, -5, 0), small_geometry(), 8);
+    expect_covered(sliding_window_range(48, 2, 9), small_geometry(), 8);
+}
+
+TEST(Scheduler, DilatedWindowExactCoverage) {
+    expect_covered(dilated_window(64, -2, 2, 3), small_geometry(), 8);
+    expect_covered(dilated_window(60, -3, 3, 4), small_geometry(), 8);
+}
+
+TEST(Scheduler, DilatedWindowWithGlobalsExactCoverage) {
+    expect_covered(dilated_window(64, -2, 2, 3, {0, 10}), small_geometry(), 8);
+}
+
+TEST(Scheduler, Vil2dExactCoverage) {
+    expect_covered(vil_2d(8, 8, 3, 3, 1), small_geometry(), 8);
+    expect_covered(vil_2d(6, 10, 5, 3, 1), small_geometry(), 8);
+}
+
+TEST(Scheduler, Vil2dPerBandModeExactCoverage) {
+    expect_covered(vil_2d(8, 8, 3, 3, 1), small_geometry(), 8, PackingMode::kPerBand);
+}
+
+TEST(Scheduler, StarTransformerExactCoverage) {
+    expect_covered(star_transformer(50), small_geometry(), 8);
+}
+
+TEST(Scheduler, SparseTransformerStridedExactCoverage) {
+    expect_covered(sparse_transformer_strided(48, 4), small_geometry(), 8);
+}
+
+TEST(Scheduler, SparseTransformerFixedExactCoverage) {
+    // Many global tokens: exercises the catch-up paths.
+    expect_covered(sparse_transformer_fixed(40, 8), small_geometry(), 8);
+}
+
+TEST(Scheduler, WindowLargerThanSequence) {
+    expect_covered(sliding_window(16, 40), small_geometry(), 8);
+}
+
+TEST(Scheduler, SequenceNotMultipleOfRows) {
+    expect_covered(sliding_window(37, 6, {3}), small_geometry(), 8);
+}
+
+TEST(Scheduler, WindowNotMultipleOfCols) {
+    expect_covered(sliding_window(40, 11), small_geometry(), 8);
+}
+
+TEST(Scheduler, DilationLargerThanRows) {
+    expect_covered(dilated_window(64, -1, 1, 11), small_geometry(), 8);
+}
+
+TEST(Scheduler, OverlappingBandsComputedOnce) {
+    // Bands {0..3} and {2..5} overlap on offsets 2..3.
+    const HybridPattern p(40, {Band{0, 4, 1, 0}, Band{2, 4, 1, 0}});
+    expect_covered(p, small_geometry(), 8);
+}
+
+TEST(Scheduler, MixedDilationBands) {
+    const HybridPattern p(48, {Band{-2, 5, 1, 0}, Band{-12, 7, 4, 0}});
+    expect_covered(p, small_geometry(), 8);
+}
+
+TEST(Scheduler, PackedModePacksNarrowBands) {
+    // Two 3-wide bands fit in one 8-column tile.
+    const auto p = vil_2d(8, 8, 3, 3, 0);
+    const SchedulePlan packed = schedule(p, small_geometry(), 8,
+                                         {PackingMode::kPacked});
+    const SchedulePlan per_band = schedule(p, small_geometry(), 8,
+                                           {PackingMode::kPerBand});
+    EXPECT_LT(packed.stats.window_tiles, per_band.stats.window_tiles);
+    EXPECT_GT(packed.stats.slot_occupancy(), per_band.stats.slot_occupancy());
+}
+
+TEST(Scheduler, LongformerOccupancyIsHigh) {
+    // Full-width window segments: interior tiles are fully occupied.
+    const SchedulePlan plan = schedule(longformer(256, 32, 1), small_geometry(), 16);
+    EXPECT_GT(plan.stats.slot_occupancy(), 0.80);
+}
+
+TEST(Scheduler, GlobalAssignmentsUnique) {
+    const auto p = longformer(64, 16, 2);
+    const SchedulePlan plan = schedule(p, small_geometry(), 8);
+    // Each (query, global key) pair served exactly once by the column.
+    std::set<std::pair<int, int>> col_pairs;
+    std::set<std::pair<int, int>> row_pairs;
+    for (const TileTask& tile : plan.tiles) {
+        for (int r = 0; r < tile.rows(); ++r) {
+            if (tile.global_col_key < 0 || tile.global_col_rows.empty()) continue;
+            if (tile.global_col_rows[static_cast<std::size_t>(r)] == 0) continue;
+            const auto pair = std::make_pair(tile.query_ids[static_cast<std::size_t>(r)],
+                                             static_cast<int>(tile.global_col_key));
+            EXPECT_TRUE(col_pairs.insert(pair).second)
+                << "duplicate column pair " << pair.first << "," << pair.second;
+        }
+        if (tile.global_row_query >= 0) {
+            int slot = 0;
+            for (const TileSegment& seg : tile.segments) {
+                for (int s = 0; s < seg.stream_length(tile.rows()); ++s, ++slot) {
+                    if (tile.global_fresh[static_cast<std::size_t>(slot)] == 0) continue;
+                    const auto pair = std::make_pair(
+                        static_cast<int>(tile.global_row_query),
+                        static_cast<int>(seg.stream_key(s)));
+                    EXPECT_TRUE(row_pairs.insert(pair).second)
+                        << "duplicate row pair " << pair.first << "," << pair.second;
+                }
+            }
+        }
+    }
+    // Global queries see all 64 keys; normal queries see both global keys.
+    EXPECT_EQ(row_pairs.size(), 2u * 64u);
+    EXPECT_EQ(col_pairs.size(), 2u * 62u);
+}
+
+TEST(Scheduler, TileKeysFollowDiagonalStructure) {
+    const SchedulePlan plan = schedule(sliding_window(64, 8), small_geometry(), 8);
+    for (const TileTask& tile : plan.tiles) {
+        for (const TileSegment& seg : tile.segments) {
+            for (int r = 0; r + 1 < tile.rows(); ++r)
+                for (int c = seg.col_begin; c + 1 < seg.col_end; ++c)
+                    EXPECT_EQ(seg.key_at(r, c + 1), seg.key_at(r + 1, c))
+                        << "diagonal reuse broken";
+        }
+    }
+}
+
+TEST(Scheduler, QueriesInTileShareResidueClass) {
+    const SchedulePlan plan = schedule(dilated_window(64, -2, 2, 3), small_geometry(), 8);
+    for (const TileTask& tile : plan.tiles) {
+        int residue = -1;
+        for (int r = 0; r < tile.rows(); ++r) {
+            const int q = tile.query_ids[static_cast<std::size_t>(r)];
+            if (q < 0) continue;
+            if (residue < 0) residue = q % 3;
+            EXPECT_EQ(q % 3, residue);
+        }
+    }
+}
+
+TEST(Scheduler, BufferCapacityEnforced) {
+    ArrayGeometry g = small_geometry();
+    g.query_buffer_bytes = 16;  // cannot hold 8 queries x 8 dims
+    EXPECT_THROW(schedule(sliding_window(64, 8), g, 8), ContractViolation);
+}
+
+TEST(Scheduler, ReorderPermutationMatchesPaper) {
+    // n=8, d=3 -> [0,3,6,1,4,7,2,5]
+    const auto perm = reorder_permutation(8, 3);
+    const std::vector<int> expected = {0, 3, 6, 1, 4, 7, 2, 5};
+    EXPECT_EQ(perm, expected);
+    // d=1 is the identity.
+    const auto id = reorder_permutation(5, 1);
+    EXPECT_EQ(id, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ReorderPermutationIsBijection) {
+    for (int d : {2, 3, 7}) {
+        const auto perm = reorder_permutation(29, d);
+        std::set<int> seen(perm.begin(), perm.end());
+        EXPECT_EQ(seen.size(), 29u);
+        EXPECT_EQ(*seen.begin(), 0);
+        EXPECT_EQ(*seen.rbegin(), 28);
+    }
+}
+
+TEST(Scheduler, StatsAccounting) {
+    const SchedulePlan plan = schedule(longformer(64, 8, 1), small_geometry(), 8);
+    EXPECT_GT(plan.stats.window_tiles, 0);
+    EXPECT_EQ(plan.stats.total_tiles(),
+              static_cast<int>(plan.tiles.size()));
+    EXPECT_GT(plan.stats.slot_occupancy(), 0.0);
+    EXPECT_LE(plan.stats.slot_occupancy(), 1.0);
+    // Global PE row covered all 64 keys for the single global query.
+    EXPECT_EQ(plan.stats.global_row_ops, 64);
+    // Global PE column served all 63 normal queries.
+    EXPECT_EQ(plan.stats.global_col_ops, 63);
+}
+
+TEST(Scheduler, PaperBoundHoldsForPaperWorkload) {
+    // n_g <= min{ceil(n/#row), ceil(w/#col)} implies no catch-up tiles.
+    const SchedulePlan plan = schedule(longformer(256, 32, 2),
+                                       small_geometry(8, 8), 8);
+    EXPECT_EQ(plan.stats.catchup_tiles, 0);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,79 @@
+#include "attention/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pattern/pattern.hpp"
+
+namespace salo {
+namespace {
+
+class StreamingBlockSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingBlockSize, EqualsBatchMaskedAttention) {
+    // The renormalization identity (paper Eq. 2 / Appendix A): streaming
+    // over any block size equals the one-shot masked softmax.
+    Rng rng(17);
+    const int n = 48;
+    const int d = 16;
+    const auto q = random_matrix(n, d, rng);
+    const auto k = random_matrix(n, d, rng);
+    const auto v = random_matrix(n, d, rng);
+    const auto pattern = longformer(n, 8, 1);
+    const auto batch = masked_attention(q, k, v, 0.25f, pattern.attend_fn());
+    const auto streamed = streaming_masked_attention(q, k, v, 0.25f,
+                                                     pattern.attend_fn(), GetParam());
+    EXPECT_LT(max_abs_diff(batch, streamed), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, StreamingBlockSize,
+                         ::testing::Values(1, 3, 8, 17, 48, 100));
+
+TEST(Streaming, DenseMaskMatchesDenseAttention) {
+    Rng rng(18);
+    const auto q = random_matrix(24, 8, rng);
+    const auto k = random_matrix(24, 8, rng);
+    const auto v = random_matrix(24, 8, rng);
+    const auto dense = dense_attention(q, k, v, 0.35f);
+    const auto streamed = streaming_masked_attention(
+        q, k, v, 0.35f, [](int, int) { return true; }, 7);
+    EXPECT_LT(max_abs_diff(dense, streamed), 1e-5);
+}
+
+TEST(Streaming, EmptyRowsStayZero) {
+    Rng rng(19);
+    const auto q = random_matrix(8, 4, rng);
+    const auto k = random_matrix(8, 4, rng);
+    const auto v = random_matrix(8, 4, rng);
+    const auto out = streaming_masked_attention(
+        q, k, v, 1.0f, [](int i, int) { return i != 2; }, 3);
+    for (int t = 0; t < 4; ++t) EXPECT_FLOAT_EQ(out(2, t), 0.0f);
+}
+
+TEST(Streaming, StableUnderLargeScores) {
+    // Online max-rebasing keeps exp() in range even for huge scores.
+    Matrix<float> q(2, 2, 0.0f), k(4, 2, 0.0f), v(4, 2, 0.0f);
+    q(0, 0) = 40.0f;
+    q(1, 0) = -40.0f;
+    for (int j = 0; j < 4; ++j) {
+        k(j, 0) = static_cast<float>(j - 1);
+        v(j, 1) = static_cast<float>(j);
+    }
+    const auto out = streaming_masked_attention(
+        q, k, v, 1.0f, [](int, int) { return true; }, 2);
+    for (float x : out.data()) EXPECT_TRUE(std::isfinite(x));
+    // Row 0's softmax concentrates on the largest key (j=3).
+    EXPECT_NEAR(out(0, 1), 3.0f, 1e-3);
+    // Row 1 concentrates on the smallest (j=0).
+    EXPECT_NEAR(out(1, 1), 0.0f, 1e-3);
+}
+
+TEST(Streaming, RejectsBadBlockSize) {
+    Matrix<float> m(2, 2);
+    EXPECT_THROW(streaming_masked_attention(m, m, m, 1.0f,
+                                            [](int, int) { return true; }, 0),
+                 ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,109 @@
+#include "scheduler/tile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace salo {
+namespace {
+
+TileTask make_two_segment_tile() {
+    TileTask tile;
+    tile.query_ids = {10, 11, 12, 13};
+    TileSegment a;
+    a.band = 0;
+    a.col_begin = 0;
+    a.col_end = 3;
+    a.key_base = 100;
+    a.dilation = 1;
+    TileSegment b;
+    b.band = 1;
+    b.col_begin = 3;
+    b.col_end = 5;
+    b.key_base = 200;
+    b.dilation = 2;
+    tile.segments = {a, b};
+    tile.valid.assign(4 * 6, 0);  // 4 rows x 6 cols, last col unused
+    return tile;
+}
+
+TEST(Tile, ShapeAccessors) {
+    const TileTask tile = make_two_segment_tile();
+    EXPECT_EQ(tile.rows(), 4);
+    EXPECT_EQ(tile.cols(), 6);
+    EXPECT_EQ(tile.cols_used(), 5);
+}
+
+TEST(Tile, SegmentLookup) {
+    const TileTask tile = make_two_segment_tile();
+    ASSERT_NE(tile.segment_at(0), nullptr);
+    EXPECT_EQ(tile.segment_at(0)->band, 0);
+    EXPECT_EQ(tile.segment_at(2)->band, 0);
+    EXPECT_EQ(tile.segment_at(3)->band, 1);
+    EXPECT_EQ(tile.segment_at(4)->band, 1);
+    EXPECT_EQ(tile.segment_at(5), nullptr);  // packing waste column
+}
+
+TEST(Tile, KeyAtFollowsDiagonal) {
+    const TileTask tile = make_two_segment_tile();
+    // Segment A: key = 100 + (r + c - 0) * 1.
+    EXPECT_EQ(tile.key_at(0, 0), 100);
+    EXPECT_EQ(tile.key_at(2, 1), 103);
+    EXPECT_EQ(tile.key_at(0, 1), tile.key_at(1, 0));  // diagonal sharing
+    // Segment B: key = 200 + (r + c - 3) * 2.
+    EXPECT_EQ(tile.key_at(0, 3), 200);
+    EXPECT_EQ(tile.key_at(1, 3), 202);
+    EXPECT_EQ(tile.key_at(0, 4), tile.key_at(1, 3));  // diagonal with stride
+    EXPECT_EQ(tile.key_at(3, 4), 208);
+}
+
+TEST(Tile, StreamLengthsAndKeys) {
+    const TileTask tile = make_two_segment_tile();
+    // Segment A streams rows + width - 1 = 4 + 3 - 1 = 6 keys; B: 4+2-1 = 5.
+    EXPECT_EQ(tile.segments[0].stream_length(4), 6);
+    EXPECT_EQ(tile.segments[1].stream_length(4), 5);
+    EXPECT_EQ(tile.total_stream_length(), 11);
+    EXPECT_EQ(tile.segments[0].stream_key(0), 100);
+    EXPECT_EQ(tile.segments[0].stream_key(5), 105);
+    EXPECT_EQ(tile.segments[1].stream_key(4), 208);
+}
+
+TEST(Tile, ValidMaskCounting) {
+    TileTask tile = make_two_segment_tile();
+    EXPECT_FALSE(tile.has_window_work());
+    tile.valid[0] = 1;
+    tile.valid[7] = 1;
+    EXPECT_EQ(tile.num_valid_slots(), 2);
+    EXPECT_TRUE(tile.has_window_work());
+    EXPECT_TRUE(tile.is_valid(0, 0));
+    EXPECT_TRUE(tile.is_valid(1, 1));
+    EXPECT_FALSE(tile.is_valid(0, 1));
+}
+
+TEST(Tile, GlobalWorkFlags) {
+    TileTask tile = make_two_segment_tile();
+    EXPECT_FALSE(tile.has_global_work());
+    tile.global_row_query = 0;
+    EXPECT_TRUE(tile.has_global_work());
+    tile.global_row_query = -1;
+    tile.global_col_key = 5;
+    EXPECT_TRUE(tile.has_global_work());
+}
+
+TEST(Tile, KeyAtOutsideSegmentsThrows) {
+    const TileTask tile = make_two_segment_tile();
+    EXPECT_THROW(tile.key_at(0, 5), ContractViolation);
+}
+
+TEST(Geometry, DerivedQuantities) {
+    ArrayGeometry g;
+    EXPECT_EQ(g.key_stream_length(), 63);
+    EXPECT_EQ(g.total_pes(), 32 * 32 + 32 + 32);
+    g.rows = 4;
+    g.cols = 8;
+    g.num_global_rows = 2;
+    g.num_global_cols = 3;
+    EXPECT_EQ(g.key_stream_length(), 11);
+    EXPECT_EQ(g.total_pes(), 32 + 16 + 12);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,82 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace salo {
+namespace {
+
+SchedulePlan make_plan() {
+    ArrayGeometry g;
+    g.rows = 8;
+    g.cols = 8;
+    return schedule(longformer(32, 8, 1), g, 8, {});
+}
+
+TEST(Trace, RenderTileShowsMaskAndMetadata) {
+    const auto plan = make_plan();
+    ASSERT_FALSE(plan.tiles.empty());
+    const std::string s = render_tile(plan.tiles.front());
+    EXPECT_NE(s.find("segment"), std::string::npos);
+    EXPECT_NE(s.find('#'), std::string::npos);  // some valid slots
+    EXPECT_NE(s.find('q'), std::string::npos);  // query labels
+    // 8 rows + header -> at least 9 lines.
+    int lines = 0;
+    for (char c : s)
+        if (c == '\n') ++lines;
+    EXPECT_GE(lines, 9);
+}
+
+TEST(Trace, RenderTileMarksGlobalColumnRows) {
+    const auto plan = make_plan();
+    bool found = false;
+    for (const TileTask& tile : plan.tiles) {
+        if (tile.global_col_key < 0) continue;
+        const std::string s = render_tile(tile);
+        EXPECT_NE(s.find("global_col_k=0"), std::string::npos);
+        EXPECT_NE(s.find("+g"), std::string::npos);
+        found = true;
+        break;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Trace, RenderPlanSummarizes) {
+    const auto plan = make_plan();
+    const std::string s = render_plan(plan, 2);
+    EXPECT_NE(s.find("plan: n=32"), std::string::npos);
+    EXPECT_NE(s.find("#0:"), std::string::npos);
+    EXPECT_NE(s.find("more tiles"), std::string::npos);  // capped
+    const std::string full = render_plan(plan, 10000);
+    EXPECT_EQ(full.find("more tiles"), std::string::npos);
+}
+
+TEST(Trace, RenderPlanShowsDilation) {
+    ArrayGeometry g;
+    g.rows = 8;
+    g.cols = 8;
+    const auto plan = schedule(dilated_window(32, -1, 1, 3), g, 8, {});
+    const std::string s = render_plan(plan);
+    EXPECT_NE(s.find("/d3"), std::string::npos);
+}
+
+TEST(Trace, CycleProfilePercentagesSumToAboutHundred) {
+    const auto plan = make_plan();
+    const std::string s = render_cycle_profile(plan, CycleConfig{});
+    EXPECT_NE(s.find("stage1 Q*K^T"), std::string::npos);
+    EXPECT_NE(s.find("stage5 S'*V"), std::string::npos);
+    // Extract the five percentages (digits immediately before each '%')
+    // and check they sum to ~100.
+    int total = 0;
+    for (std::size_t pos = s.find('%'); pos != std::string::npos;
+         pos = s.find('%', pos + 1)) {
+        std::size_t start = pos;
+        while (start > 0 && std::isdigit(static_cast<unsigned char>(s[start - 1])))
+            --start;
+        total += std::atoi(s.substr(start, pos - start).c_str());
+    }
+    EXPECT_GE(total, 97);
+    EXPECT_LE(total, 103);
+}
+
+}  // namespace
+}  // namespace salo

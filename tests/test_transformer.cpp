@@ -1,0 +1,206 @@
+#include "transformer/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transformer/layers.hpp"
+
+namespace salo {
+namespace {
+
+SaloConfig small_config(Fidelity fidelity = Fidelity::kFunctional) {
+    SaloConfig c;
+    c.geometry.rows = 8;
+    c.geometry.cols = 8;
+    c.fidelity = fidelity;
+    return c;
+}
+
+TEST(Linear, IdentityWeightPassesThrough) {
+    Linear layer(3, 3);
+    for (int i = 0; i < 3; ++i) layer.weight()(i, i) = 1.0f;
+    Matrix<float> x(2, 3);
+    float v = 1.0f;
+    for (auto& e : x.data()) e = v++;
+    const auto y = layer.forward(x);
+    EXPECT_LT(max_abs_diff(x, y), 1e-6);
+}
+
+TEST(Linear, BiasIsAdded) {
+    Linear layer(2, 2);
+    layer.bias()[0] = 1.5f;
+    layer.bias()[1] = -0.5f;
+    Matrix<float> x(1, 2, 0.0f);
+    const auto y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(y(0, 1), -0.5f);
+}
+
+TEST(Linear, KnownMatrixVectorProduct) {
+    Linear layer(2, 3);
+    // W = [[1,2],[3,4],[5,6]], x = [1, -1] -> y = [-1, -1, -1]
+    float w = 1.0f;
+    for (auto& e : layer.weight().data()) e = w++;
+    Matrix<float> x(1, 2);
+    x(0, 0) = 1.0f;
+    x(0, 1) = -1.0f;
+    const auto y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y(0, 0), -1.0f);
+    EXPECT_FLOAT_EQ(y(0, 1), -1.0f);
+    EXPECT_FLOAT_EQ(y(0, 2), -1.0f);
+}
+
+TEST(Linear, RejectsShapeMismatch) {
+    Linear layer(4, 2);
+    EXPECT_THROW(layer.forward(Matrix<float>(3, 5)), ContractViolation);
+}
+
+TEST(LayerNorm, NormalizesToZeroMeanUnitVar) {
+    LayerNorm norm(8);
+    Rng rng(1);
+    const auto x = random_matrix(4, 8, rng, 3.0, 2.5);
+    const auto y = norm.forward(x);
+    for (int i = 0; i < y.rows(); ++i) {
+        double mean = 0.0, var = 0.0;
+        for (float v : y.row(i)) mean += v;
+        mean /= 8;
+        for (float v : y.row(i)) var += (v - mean) * (v - mean);
+        var /= 8;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+    LayerNorm norm(4);
+    for (auto& g : norm.gamma()) g = 2.0f;
+    for (auto& b : norm.beta()) b = 1.0f;
+    Rng rng(2);
+    const auto x = random_matrix(2, 4, rng);
+    const auto y = norm.forward(x);
+    for (int i = 0; i < y.rows(); ++i) {
+        double mean = 0.0;
+        for (float v : y.row(i)) mean += v;
+        EXPECT_NEAR(mean / 4, 1.0, 1e-5);  // beta shifts the mean
+    }
+}
+
+TEST(Gelu, KnownValues) {
+    Matrix<float> x(1, 3);
+    x(0, 0) = 0.0f;
+    x(0, 1) = 100.0f;   // saturates to identity
+    x(0, 2) = -100.0f;  // saturates to zero
+    const auto y = gelu(x);
+    EXPECT_NEAR(y(0, 0), 0.0f, 1e-6);
+    EXPECT_NEAR(y(0, 1), 100.0f, 1e-3);
+    EXPECT_NEAR(y(0, 2), 0.0f, 1e-3);
+}
+
+TEST(Relu, ClampsNegatives) {
+    Matrix<float> x(1, 2);
+    x(0, 0) = -3.0f;
+    x(0, 1) = 2.0f;
+    const auto y = relu(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y(0, 1), 2.0f);
+}
+
+TEST(Add, ResidualAndShapeCheck) {
+    Matrix<float> a(2, 2, 1.0f), b(2, 2, 0.5f);
+    EXPECT_FLOAT_EQ(add(a, b)(1, 1), 1.5f);
+    EXPECT_THROW(add(a, Matrix<float>(2, 3)), ContractViolation);
+}
+
+TEST(FeedForward, ShapesAndNonlinearity) {
+    Rng rng(3);
+    FeedForward ffn(8, 32, rng);
+    const auto x = random_matrix(5, 8, rng);
+    const auto y = ffn.forward(x);
+    EXPECT_EQ(y.rows(), 5);
+    EXPECT_EQ(y.cols(), 8);
+    // Non-degenerate output.
+    double mag = 0.0;
+    for (float v : y.data()) mag += std::abs(v);
+    EXPECT_GT(mag, 0.0);
+}
+
+TEST(MultiHeadAttention, GoldenVsFunctionalClose) {
+    Rng rng(4);
+    const auto pattern = longformer(32, 8, 1);
+    MultiHeadAttention mha(32, 4, pattern, rng);
+    const auto x = random_matrix(32, 32, rng, 0.0, 0.5);
+    const SaloEngine quantized(small_config(Fidelity::kFunctional));
+    const SaloEngine golden(small_config(Fidelity::kGolden));
+    const auto a = mha.forward(x, quantized);
+    const auto b = mha.forward(x, golden);
+    EXPECT_EQ(a.rows(), 32);
+    EXPECT_EQ(a.cols(), 32);
+    // Output projection mixes quantization error; stays small.
+    EXPECT_LT(max_abs_diff(a, b), 0.5);
+    EXPECT_GT(max_abs_diff(a, b), 0.0);  // fixed point really differs
+}
+
+TEST(MultiHeadAttention, StatsAccumulate) {
+    Rng rng(5);
+    const auto pattern = longformer(32, 8, 1);
+    MultiHeadAttention mha(16, 2, pattern, rng);
+    const auto x = random_matrix(32, 16, rng, 0.0, 0.5);
+    const SaloEngine engine(small_config());
+    SimStats stats;
+    (void)mha.forward(x, engine, &stats);
+    EXPECT_GT(stats.cycles, 0);
+    EXPECT_GT(stats.tiles, 0);
+}
+
+TEST(MultiHeadAttention, RejectsBadHiddenSplit) {
+    Rng rng(6);
+    EXPECT_THROW(MultiHeadAttention(10, 3, longformer(8, 2, 0), rng),
+                 ContractViolation);
+}
+
+TEST(EncoderBlock, ForwardShapesAndFiniteness) {
+    Rng rng(7);
+    const auto pattern = longformer(24, 6, 1);
+    EncoderBlock block(16, 2, 64, pattern, rng);
+    const auto x = random_matrix(24, 16, rng, 0.0, 0.5);
+    const SaloEngine engine(small_config());
+    const auto y = block.forward(x, engine);
+    EXPECT_EQ(y.rows(), 24);
+    EXPECT_EQ(y.cols(), 16);
+    for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Encoder, StacksLayersAndAccumulatesStats) {
+    Rng rng(8);
+    const auto pattern = longformer(24, 6, 1);
+    Encoder encoder(3, 16, 2, 32, pattern, rng);
+    const auto x = random_matrix(24, 16, rng, 0.0, 0.5);
+    const SaloEngine engine(small_config());
+    SimStats stats;
+    const auto y = encoder.forward(x, engine, &stats);
+    EXPECT_EQ(y.rows(), 24);
+    EXPECT_EQ(encoder.num_layers(), 3);
+    // Three layers' worth of accelerator work.
+    SimStats one_layer;
+    EncoderBlock block(16, 2, 32, pattern, rng);
+    (void)block.forward(x, engine, &one_layer);
+    EXPECT_EQ(stats.tiles % one_layer.tiles, 0);
+    EXPECT_EQ(stats.tiles / one_layer.tiles, 3);
+}
+
+TEST(Encoder, QuantizedStaysCloseToGoldenThroughDepth) {
+    Rng rng(9);
+    const auto pattern = longformer(24, 8, 1);
+    Encoder encoder(2, 16, 2, 32, pattern, rng);
+    const auto x = random_matrix(24, 16, rng, 0.0, 0.5);
+    const SaloEngine quantized(small_config(Fidelity::kFunctional));
+    const SaloEngine golden(small_config(Fidelity::kGolden));
+    const auto a = encoder.forward(x, quantized);
+    const auto b = encoder.forward(x, golden);
+    // LayerNorm re-centers each layer, keeping quantization error bounded.
+    EXPECT_LT(max_abs_diff(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace salo

@@ -1,0 +1,74 @@
+#include "workload/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace salo {
+namespace {
+
+TEST(Workload, LongformerMatchesTable2) {
+    const auto w = longformer_base_4096();
+    EXPECT_EQ(w.n(), 4096);
+    EXPECT_EQ(w.window, 512);
+    EXPECT_EQ(w.hidden(), 768);
+    EXPECT_EQ(w.pattern.global_tokens().size(), 1u);
+    EXPECT_NEAR(w.pattern.sparsity(), w.paper_sparsity, 0.01);
+}
+
+TEST(Workload, VilStage1MatchesTable2) {
+    const auto w = vil_stage1();
+    EXPECT_EQ(w.n(), 56 * 56);
+    EXPECT_EQ(w.window, 225);
+    EXPECT_EQ(w.hidden(), 192);
+    EXPECT_EQ(w.pattern.grid_width(), 56);
+    // Paper quotes 0.072 (= 225/3136, edges ignored); our exact sparsity is
+    // lower because the window clips at image borders.
+    EXPECT_NEAR(w.pattern.sparsity(), w.paper_sparsity, 0.015);
+}
+
+TEST(Workload, VilStage2MatchesTable2) {
+    const auto w = vil_stage2();
+    EXPECT_EQ(w.n(), 28 * 28);
+    EXPECT_EQ(w.hidden(), 384);
+    // Paper quotes 225/784 = 0.288, which ignores edge clipping; on a 28x28
+    // grid a 15x15 window clips heavily, so the exact sparsity is lower.
+    EXPECT_NEAR(w.paper_sparsity, 225.0 / 784.0, 0.002);
+    EXPECT_LT(w.pattern.sparsity(), w.paper_sparsity);
+    EXPECT_GT(w.pattern.sparsity(), 0.19);
+}
+
+TEST(Workload, PaperWorkloadsOrdering) {
+    const auto all = paper_workloads();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].name, "Longformer");
+    EXPECT_EQ(all[1].name, "ViL-stage1");
+    EXPECT_EQ(all[2].name, "ViL-stage2");
+}
+
+TEST(Workload, BertIsDense) {
+    const auto w = bert_base(64);
+    for (int i = 0; i < 64; i += 7)
+        for (int j = 0; j < 64; j += 5) EXPECT_TRUE(w.pattern.attends(i, j));
+    EXPECT_NEAR(w.pattern.sparsity(), 1.0, 1e-9);
+    EXPECT_EQ(w.hidden(), 768);
+}
+
+TEST(Workload, ScaleIsInverseSqrtD) {
+    const auto w = longformer_base_4096();
+    EXPECT_NEAR(w.scale(), 1.0 / 8.0, 1e-6);
+}
+
+TEST(Workload, MakeQkvShapesAndDeterminism) {
+    const auto w = longformer_small(32, 8, 2, 16, 1);
+    const auto a = make_qkv(w, 5);
+    const auto b = make_qkv(w, 5);
+    const auto c = make_qkv(w, 6);
+    EXPECT_EQ(a.q.count(), 2);
+    EXPECT_EQ(a.q.rows(), 32);
+    EXPECT_EQ(a.q.cols(), 16);
+    EXPECT_TRUE(a.q[0] == b.q[0]);
+    EXPECT_TRUE(a.v[1] == b.v[1]);
+    EXPECT_FALSE(a.q[0] == c.q[0]);
+}
+
+}  // namespace
+}  // namespace salo
