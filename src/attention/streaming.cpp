@@ -17,31 +17,33 @@ Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<fl
     const int n = q.rows();
     const int m = k.rows();
     const int d = v.cols();
+    const int dk = q.cols();
 
     // Running state per query: max score, total weight, unnormalized-by-
     // weight output (i.e. the normalized output of everything seen so far).
+    // The outputs live in one flat n*d buffer — one allocation, contiguous
+    // per-query rows — instead of n separate heap vectors.
     std::vector<double> run_max(static_cast<std::size_t>(n),
                                 -std::numeric_limits<double>::infinity());
     std::vector<double> run_weight(static_cast<std::size_t>(n), 0.0);
-    std::vector<std::vector<double>> run_out(static_cast<std::size_t>(n),
-                                             std::vector<double>(static_cast<std::size_t>(d), 0.0));
+    std::vector<double> run_out(static_cast<std::size_t>(n) * static_cast<std::size_t>(d),
+                                0.0);
 
     std::vector<double> scores;
     std::vector<int> cols;
+    std::vector<double> out_block(static_cast<std::size_t>(d));
     for (int b0 = 0; b0 < m; b0 += block_size) {
         const int b1 = std::min(m, b0 + block_size);
         for (int i = 0; i < n; ++i) {
             scores.clear();
             cols.clear();
             double block_max = -std::numeric_limits<double>::infinity();
-            const auto qi = q.row(i);
+            const float* qi = q.row(i).data();
             for (int j = b0; j < b1; ++j) {
                 if (!attends(i, j)) continue;
-                const auto kj = k.row(j);
+                const float* kj = k.row(j).data();
                 double dot = 0.0;
-                for (int t = 0; t < q.cols(); ++t)
-                    dot += static_cast<double>(qi[static_cast<std::size_t>(t)]) *
-                           static_cast<double>(kj[static_cast<std::size_t>(t)]);
+                for (int t = 0; t < dk; ++t) dot += static_cast<double>(qi[t]) * kj[t];
                 dot *= scale;
                 scores.push_back(dot);
                 cols.push_back(j);
@@ -51,19 +53,19 @@ Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<fl
 
             // Block-local softmax parts (weight W_b and normalized out_b).
             double w_block = 0.0;
-            std::vector<double> out_block(static_cast<std::size_t>(d), 0.0);
+            std::fill(out_block.begin(), out_block.end(), 0.0);
             for (std::size_t s = 0; s < cols.size(); ++s) {
                 const double e = std::exp(scores[s] - block_max);
                 w_block += e;
-                const auto vr = v.row(cols[s]);
+                const float* vr = v.row(cols[s]).data();
                 for (int t = 0; t < d; ++t)
-                    out_block[static_cast<std::size_t>(t)] +=
-                        e * static_cast<double>(vr[static_cast<std::size_t>(t)]);
+                    out_block[static_cast<std::size_t>(t)] += e * static_cast<double>(vr[t]);
             }
             for (double& x : out_block) x /= w_block;
 
             // Merge with the running state (Eq. 2 with max rebasing).
-            auto& out = run_out[static_cast<std::size_t>(i)];
+            double* out = run_out.data() + static_cast<std::size_t>(i) *
+                                               static_cast<std::size_t>(d);
             double& w_run = run_weight[static_cast<std::size_t>(i)];
             double& m_run = run_max[static_cast<std::size_t>(i)];
             const double new_max = std::max(m_run, block_max);
@@ -71,10 +73,8 @@ Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<fl
             const double w_new = w_block * std::exp(block_max - new_max);
             const double w_total = w_prev + w_new;
             for (int t = 0; t < d; ++t)
-                out[static_cast<std::size_t>(t)] =
-                    (w_prev * out[static_cast<std::size_t>(t)] +
-                     w_new * out_block[static_cast<std::size_t>(t)]) /
-                    w_total;
+                out[t] = (w_prev * out[t] + w_new * out_block[static_cast<std::size_t>(t)]) /
+                         w_total;
             w_run = w_total;
             m_run = new_max;
         }
@@ -83,9 +83,9 @@ Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<fl
     Matrix<float> result(n, d, 0.0f);
     for (int i = 0; i < n; ++i) {
         if (run_weight[static_cast<std::size_t>(i)] <= 0.0) continue;
-        for (int t = 0; t < d; ++t)
-            result(i, t) =
-                static_cast<float>(run_out[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)]);
+        const double* out = run_out.data() + static_cast<std::size_t>(i) *
+                                                 static_cast<std::size_t>(d);
+        for (int t = 0; t < d; ++t) result(i, t) = static_cast<float>(out[t]);
     }
     return result;
 }

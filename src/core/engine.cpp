@@ -1,6 +1,6 @@
 #include "core/engine.hpp"
 
-#include <thread>
+#include <algorithm>
 
 #include "attention/golden.hpp"
 #include "numeric/quantize.hpp"
@@ -10,12 +10,90 @@
 
 namespace salo {
 
+namespace {
+
+int effective_threads(const SaloConfig& config) {
+    // <= 0 means "auto" (the seed engine clamped such values rather than
+    // rejecting them; auto is the useful reading now that the default is
+    // hardware_concurrency anyway).
+    return config.num_threads <= 0 ? default_num_threads() : config.num_threads;
+}
+
+/// Min/max query id over a tile's emitted parts, as a [lo, hi) range for
+/// the merge phase's shard-skip test ({0, 0} when the tile emitted none).
+/// `for_each_part` invokes its callback once per part, in any order.
+template <typename ForEachPart>
+QueryShard part_query_bounds(ForEachPart&& for_each_part) {
+    QueryShard bounds{0, 0};
+    bool first = true;
+    for_each_part([&](const TilePart& p) {
+        if (first) {
+            bounds = QueryShard{p.query, p.query + 1};
+            first = false;
+            return;
+        }
+        bounds.lo = std::min(bounds.lo, p.query);
+        bounds.hi = std::max(bounds.hi, p.query + 1);
+    });
+    return bounds;
+}
+
+/// Sequential cycle accounting shared by every execution path. Tiles are
+/// accounted strictly in schedule order: the double-buffered load overlap
+/// and the inter-tile stage-3 pipelining both depend on the previous tile.
+class TileAccountant {
+public:
+    TileAccountant(const SaloConfig& config, int head_dim)
+        : config_(&config), head_dim_(head_dim) {}
+
+    void account(const TileTask& tile, const CycleBreakdown& b, SimStats& stats) {
+        std::int64_t compute = b.total();
+        // Inter-tile pipelining: stage 3 of the previous tile overlaps this
+        // tile's systolic stages (no MAC conflict), so it is hidden for
+        // every tile but the first.
+        if (config_->tile_pipelining && !first_tile_) compute -= b.stage[2];
+        const std::int64_t load =
+            (tile_load_bytes(tile, head_dim_) + config_->bus_bytes_per_cycle - 1) /
+            config_->bus_bytes_per_cycle;
+        std::int64_t cycles;
+        if (!config_->double_buffer) {
+            cycles = load + compute;
+        } else if (first_tile_) {
+            cycles = load + compute;  // nothing to overlap with yet
+        } else {
+            // The load of this tile overlapped the previous tile's compute;
+            // stall only for the remainder.
+            cycles = compute + std::max<std::int64_t>(0, load - prev_compute_);
+        }
+        prev_compute_ = compute;
+        first_tile_ = false;
+        stats.cycles += cycles;
+        ++stats.tiles;
+        for (int s = 0; s < 5; ++s) stats.stage_totals.stage[s] += b.stage[s];
+    }
+
+private:
+    const SaloConfig* config_;
+    int head_dim_;
+    std::int64_t prev_compute_ = 0;  // for the double-buffered load overlap
+    bool first_tile_ = true;
+};
+
+}  // namespace
+
 SaloEngine::SaloEngine() : SaloEngine(SaloConfig{}) {}
 
 SaloEngine::SaloEngine(const SaloConfig& config)
     : config_(config), exp_unit_(config.exp_config), recip_unit_(config.recip_config) {
     config_.geometry.validate();
     SALO_EXPECTS(config_.bus_bytes_per_cycle > 0);
+}
+
+ThreadPool& SaloEngine::pool() const {
+    std::call_once(pool_once_, [this] {
+        pool_ = std::make_unique<ThreadPool>(effective_threads(config_));
+    });
+    return *pool_;
 }
 
 SchedulePlan SaloEngine::plan(const HybridPattern& pattern, int head_dim) const {
@@ -32,13 +110,21 @@ HeadResult SaloEngine::run_head_on_plan(const SchedulePlan& plan,
                                         const HybridPattern& pattern,
                                         const Matrix<float>& q, const Matrix<float>& k,
                                         const Matrix<float>& v, float scale) const {
+    return run_head_impl(plan, pattern, q, k, v, scale, effective_threads(config_));
+}
+
+HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
+                                     const HybridPattern& pattern,
+                                     const Matrix<float>& q, const Matrix<float>& k,
+                                     const Matrix<float>& v, float scale, int threads,
+                                     ParallelWorkspace* ws) const {
     const int n = q.rows();
     const int d = q.cols();
     SALO_EXPECTS(n == pattern.n());
     SALO_EXPECTS(k.rows() == n && v.rows() == n && k.cols() == d && v.cols() == d);
 
-    HeadResult result;
     if (config_.fidelity == Fidelity::kGolden) {
+        HeadResult result;
         result.output = golden(pattern, q, k, v, scale);
         return result;
     }
@@ -51,61 +137,198 @@ HeadResult SaloEngine::run_head_on_plan(const SchedulePlan& plan,
     const Matrix<std::int8_t> kq = quantize<InputFx>(k);
     const Matrix<std::int8_t> vq = quantize<InputFx>(v);
 
+    // The reference datapath exists only in the sequential loop; honoring
+    // the flag beats silently benchmarking the optimized path as "seed".
+    const bool parallel_ok = !config_.reference_datapath;
+    if (parallel_ok && threads > 1 && static_cast<int>(plan.tiles.size()) > 1) {
+        if (ws != nullptr) return run_head_parallel(plan, qq, kq, vq, *ws);
+        ParallelWorkspace scratch_ws;
+        return run_head_parallel(plan, qq, kq, vq, scratch_ws);
+    }
+    return run_head_sequential(plan, qq, kq, vq);
+}
+
+HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan,
+                                           const Matrix<std::int8_t>& qq,
+                                           const Matrix<std::int8_t>& kq,
+                                           const Matrix<std::int8_t>& vq) const {
+    const int n = qq.rows();
+    const int d = qq.cols();
+    HeadResult result;
     WeightedSumModule wsm(n, d, recip_unit_);
-    std::vector<TilePart> parts;
     const CycleConfig ccfg = config_.cycle_config();
+    TileAccountant accountant(config_, d);
 
-    std::int64_t prev_compute = 0;  // for the double-buffered load overlap
-    bool first_tile = true;
-
-    auto account = [&](const TileTask& tile, const CycleBreakdown& b) {
-        std::int64_t compute = b.total();
-        // Inter-tile pipelining: stage 3 of the previous tile overlaps this
-        // tile's systolic stages (no MAC conflict), so it is hidden for
-        // every tile but the first.
-        if (config_.tile_pipelining && !first_tile) compute -= b.stage[2];
-        const std::int64_t load =
-            (tile_load_bytes(tile, d) + config_.bus_bytes_per_cycle - 1) /
-            config_.bus_bytes_per_cycle;
-        std::int64_t cycles;
-        if (!config_.double_buffer) {
-            cycles = load + compute;
-        } else if (first_tile) {
-            cycles = load + compute;  // nothing to overlap with yet
+    if (config_.fidelity == Fidelity::kFunctional) {
+        const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
+        if (config_.reference_datapath) {
+            std::vector<TilePart> parts;
+            for (const TileTask& tile : plan.tiles) {
+                parts.clear();
+                exec.run(tile, parts, result.stats.activity);
+                for (const TilePart& p : parts) wsm.merge(p);
+                const CycleBreakdown b = tile_cycles(tile, d, ccfg);
+                accountant.account(tile, b, result.stats);
+                result.stats.activity.pe_cycles +=
+                    static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
+            }
         } else {
-            // The load of this tile overlapped the previous tile's compute;
-            // stall only for the remainder.
-            cycles = compute + std::max<std::int64_t>(0, load - prev_compute);
+            PartArena arena;
+            PartScratch scratch;
+            for (const TileTask& tile : plan.tiles) {
+                arena.reset();
+                exec.run(tile, arena, result.stats.activity, scratch);
+                for (std::size_t i = 0; i < arena.used(); ++i) wsm.merge(arena.at(i));
+                const CycleBreakdown b = tile_cycles(tile, d, ccfg);
+                accountant.account(tile, b, result.stats);
+                result.stats.activity.pe_cycles +=
+                    static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
+            }
         }
-        prev_compute = compute;
-        first_tile = false;
-        result.stats.cycles += cycles;
-        ++result.stats.tiles;
-        for (int s = 0; s < 5; ++s) result.stats.stage_totals.stage[s] += b.stage[s];
+    } else {
+        const CycleAccurateArray array(config_.geometry, ccfg, exp_unit_, recip_unit_, qq,
+                                       kq, vq);
+        std::vector<TilePart> parts;
+        for (const TileTask& tile : plan.tiles) {
+            parts.clear();
+            const CycleBreakdown b = array.run(tile, parts, result.stats.activity);
+            for (const TilePart& p : parts) wsm.merge(p);
+            accountant.account(tile, b, result.stats);
+        }
+    }
+
+    result.output = wsm.finalize();
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Tile-level parallel execution: tiles of ONE head run concurrently.
+//
+// Phase A  workers claim tiles from the pool's ticket counter and execute
+//          them into per-lane part arenas, recording an (arena, range) span
+//          per tile. No shared mutable state beyond the counter.
+// Phase B  query rows are partitioned into balanced shards; each lane
+//          replays the *full* part stream in schedule order and merges only
+//          the parts of its shard. Per-query merge order is therefore
+//          exactly the sequential order — bit-identical output for any
+//          thread count and any tile->lane assignment.
+// Phase C  cycle accounting runs on the calling thread in schedule order
+//          (the load-overlap model is inherently sequential, but it is
+//          O(tiles), not O(work)).
+// ---------------------------------------------------------------------------
+HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
+                                         const Matrix<std::int8_t>& qq,
+                                         const Matrix<std::int8_t>& kq,
+                                         const Matrix<std::int8_t>& vq,
+                                         ParallelWorkspace& ws) const {
+    const int n = qq.rows();
+    const int d = qq.cols();
+    const int num_tiles = static_cast<int>(plan.tiles.size());
+    HeadResult result;
+    WeightedSumModule wsm(n, d, recip_unit_);
+    const CycleConfig ccfg = config_.cycle_config();
+    ThreadPool& workers = pool();
+    const int lanes = workers.lanes();
+
+    ws.lane_activity.assign(static_cast<std::size_t>(lanes), ActivityStats{});
+    std::vector<ActivityStats>& lane_activity = ws.lane_activity;
+    ws.tile_bounds.resize(static_cast<std::size_t>(num_tiles));
+    std::vector<QueryShard>& tile_bounds = ws.tile_bounds;
+    TileAccountant accountant(config_, d);
+
+    // Phase B, shared by both fidelities: every shard replays the full tile
+    // list in schedule order — skipping tiles whose part queries fall
+    // outside its range — and merges only its own queries, so per-query
+    // merge order equals the sequential order for any lane count.
+    auto replay_shards = [&](auto&& for_each_part_of_tile) {
+        if (ws.shards.empty()) ws.shards = partition_query_rows(plan, lanes);
+        const std::vector<QueryShard>& shards = ws.shards;
+        workers.parallel_for(static_cast<int>(shards.size()), [&](int s, int) {
+            const QueryShard shard = shards[static_cast<std::size_t>(s)];
+            for (int t = 0; t < num_tiles; ++t) {
+                const QueryShard bounds = tile_bounds[static_cast<std::size_t>(t)];
+                if (bounds.hi <= shard.lo || bounds.lo >= shard.hi) continue;
+                for_each_part_of_tile(t, [&](const TilePart& p) {
+                    wsm.merge_shard(p, shard.lo, shard.hi);
+                });
+            }
+        });
     };
 
     if (config_.fidelity == Fidelity::kFunctional) {
         const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
+        ws.arenas.resize(static_cast<std::size_t>(lanes));
+        for (PartArena& a : ws.arenas) a.reset();
+        ws.scratch.resize(static_cast<std::size_t>(lanes));
+        ws.spans.resize(static_cast<std::size_t>(num_tiles));
+        std::vector<PartArena>& arenas = ws.arenas;
+        std::vector<PartScratch>& scratch = ws.scratch;
+        std::vector<PartSpan>& spans = ws.spans;
+
+        // Larger claim chunks cut ticket-counter contention; tiles are small.
+        const int chunk = std::max(1, num_tiles / (lanes * 8));
+        workers.parallel_for(
+            num_tiles,
+            [&](int t, int lane) {
+                PartArena& arena = arenas[static_cast<std::size_t>(lane)];
+                const auto first = static_cast<std::uint32_t>(arena.used());
+                exec.run(plan.tiles[static_cast<std::size_t>(t)], arena,
+                         lane_activity[static_cast<std::size_t>(lane)],
+                         scratch[static_cast<std::size_t>(lane)]);
+                PartSpan& span = spans[static_cast<std::size_t>(t)];
+                span = PartSpan{lane, first,
+                                static_cast<std::uint32_t>(arena.used() - first)};
+                tile_bounds[static_cast<std::size_t>(t)] =
+                    part_query_bounds([&](auto&& visit) {
+                        for (std::uint32_t i = 0; i < span.count; ++i)
+                            visit(arena.at(first + i));
+                    });
+            },
+            chunk);
+
+        replay_shards([&](int t, auto&& merge) {
+            const PartSpan& span = spans[static_cast<std::size_t>(t)];
+            const PartArena& arena = arenas[static_cast<std::size_t>(span.lane)];
+            for (std::uint32_t i = 0; i < span.count; ++i)
+                merge(arena.at(span.first + i));
+        });
+
         for (const TileTask& tile : plan.tiles) {
-            parts.clear();
-            exec.run(tile, parts, result.stats.activity);
-            for (const TilePart& p : parts) wsm.merge(p);
             const CycleBreakdown b = tile_cycles(tile, d, ccfg);
-            account(tile, b);
+            accountant.account(tile, b, result.stats);
             result.stats.activity.pe_cycles +=
                 static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
         }
     } else {
         const CycleAccurateArray array(config_.geometry, ccfg, exp_unit_, recip_unit_, qq,
                                        kq, vq);
-        for (const TileTask& tile : plan.tiles) {
-            parts.clear();
-            const CycleBreakdown b = array.run(tile, parts, result.stats.activity);
-            for (const TilePart& p : parts) wsm.merge(p);
-            account(tile, b);
-        }
+        ws.tile_parts.resize(static_cast<std::size_t>(num_tiles));
+        for (auto& parts : ws.tile_parts) parts.clear();
+        ws.breakdowns.resize(static_cast<std::size_t>(num_tiles));
+        std::vector<std::vector<TilePart>>& tile_parts = ws.tile_parts;
+        std::vector<CycleBreakdown>& breakdowns = ws.breakdowns;
+
+        workers.parallel_for(num_tiles, [&](int t, int lane) {
+            std::vector<TilePart>& parts = tile_parts[static_cast<std::size_t>(t)];
+            breakdowns[static_cast<std::size_t>(t)] =
+                array.run(plan.tiles[static_cast<std::size_t>(t)], parts,
+                          lane_activity[static_cast<std::size_t>(lane)]);
+            tile_bounds[static_cast<std::size_t>(t)] =
+                part_query_bounds([&](auto&& visit) {
+                    for (const TilePart& p : parts) visit(p);
+                });
+        });
+
+        replay_shards([&](int t, auto&& merge) {
+            for (const TilePart& p : tile_parts[static_cast<std::size_t>(t)]) merge(p);
+        });
+
+        for (int t = 0; t < num_tiles; ++t)
+            accountant.account(plan.tiles[static_cast<std::size_t>(t)],
+                               breakdowns[static_cast<std::size_t>(t)], result.stats);
     }
 
+    for (const ActivityStats& a : lane_activity) result.stats.activity += a;
     result.output = wsm.finalize();
     return result;
 }
@@ -128,26 +351,36 @@ LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& 
     result.schedule = p.stats;
 
     const int heads = q.count();
+    const int threads = effective_threads(config_);
     std::vector<HeadResult> head_results(static_cast<std::size_t>(heads));
-    const int threads = std::max(1, std::min(config_.num_threads, heads));
+
     if (threads == 1) {
         for (int h = 0; h < heads; ++h)
             head_results[static_cast<std::size_t>(h)] =
-                run_head_on_plan(p, pattern, q[h], k[h], v[h], scale);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, 1);
+    } else if (!config_.reference_datapath && config_.fidelity != Fidelity::kGolden &&
+               (static_cast<int>(p.tiles.size()) >= 2 * threads || heads == 1)) {
+        // (Golden fidelity has no tiles to parallelize — it goes through the
+        // head-parallel branch below, like the original engine striped it.)
+        // Large plans: tile-level parallelism inside each head dominates
+        // (near-perfect balance even when heads % threads != 0). One
+        // workspace serves every head so arenas keep their capacity.
+        ParallelWorkspace ws;
+        for (int h = 0; h < heads; ++h)
+            head_results[static_cast<std::size_t>(h)] =
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, threads, &ws);
     } else {
-        // Heads are independent; striped assignment keeps results identical
-        // to the sequential path regardless of thread count.
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(threads));
-        for (int t = 0; t < threads; ++t) {
-            pool.emplace_back([&, t] {
-                for (int h = t; h < heads; h += threads)
-                    head_results[static_cast<std::size_t>(h)] =
-                        run_head_on_plan(p, pattern, q[h], k[h], v[h], scale);
-            });
-        }
-        for (std::thread& worker : pool) worker.join();
+        // Small plans — and the reference datapath, which exists only in
+        // the sequential tile loop but still parallelizes across heads,
+        // like the original engine did: a head is the work quantum. Heads
+        // are independent, so results are identical either way; each task
+        // runs the sequential path (the two levels never nest).
+        pool().parallel_for(heads, [&](int h, int) {
+            head_results[static_cast<std::size_t>(h)] =
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, 1);
+        });
     }
+
     for (int h = 0; h < heads; ++h) {
         result.output[h] = std::move(head_results[static_cast<std::size_t>(h)].output);
         result.stats += head_results[static_cast<std::size_t>(h)].stats;

@@ -11,15 +11,26 @@
 //   kFunctional    — bit-accurate fixed-point datapath, analytic cycles;
 //   kCycleAccurate — bit-accurate datapath driven cycle-by-cycle (slow;
 //                    validates the analytic cycle model).
+//
+// Execution: the engine owns a persistent worker pool and parallelizes at
+// two levels — across heads when there are many small plans, and across the
+// tiles of a single plan otherwise (per-lane part arenas, then a sharded
+// ordered merge into the weighted-sum module). Both levels are bit-identical
+// to the sequential path for every thread count: tile outputs are replayed
+// in schedule order per query shard, and all datapath arithmetic is integer.
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <thread>
 
+#include "common/thread_pool.hpp"
 #include "numeric/pwl_exp.hpp"
 #include "numeric/reciprocal.hpp"
 #include "pattern/pattern.hpp"
 #include "scheduler/scheduler.hpp"
 #include "sim/cycle_formulas.hpp"
+#include "sim/part_builder.hpp"
 #include "sim/parts.hpp"
 #include "tensor/tensor3.hpp"
 
@@ -30,6 +41,12 @@ enum class Fidelity {
     kFunctional,
     kCycleAccurate,
 };
+
+/// One simulation lane per hardware thread (>= 1).
+inline int default_num_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
 
 struct SaloConfig {
     ArrayGeometry geometry;
@@ -52,9 +69,17 @@ struct SaloConfig {
     /// quantified in bench_ablation.
     bool tile_pipelining = false;
 
-    /// Host-side parallelism for multi-head runs (simulation speed only;
-    /// heads are independent, so results are identical for any value).
-    int num_threads = 1;
+    /// Host-side parallelism for simulation speed only: results are
+    /// bit-identical for every value. Defaults to all hardware threads; an
+    /// explicit 1 forces the plain sequential path (no pool involved), and
+    /// values <= 0 mean "auto" (hardware concurrency).
+    int num_threads = default_num_threads();
+
+    /// Run the original scalar datapath loops (per-tile allocations, span
+    /// indexing, int64 stage-5 accumulation) instead of the optimized
+    /// kernels. Same results bit-for-bit; kept as the measured baseline for
+    /// bench_throughput and for bit-identity tests.
+    bool reference_datapath = false;
 
     CycleConfig cycle_config() const {
         CycleConfig c;
@@ -99,13 +124,50 @@ public:
                                 const Matrix<float>& k, const Matrix<float>& v, float scale);
 
 private:
+    /// Per-lane buffers of the tile-parallel path, reused across the heads
+    /// of one layer so arenas keep their capacity (allocating ~parts-per-
+    /// head of fresh vectors per head costs more than the merge itself).
+    struct ParallelWorkspace {
+        std::vector<PartArena> arenas;
+        std::vector<PartScratch> scratch;
+        std::vector<PartSpan> spans;
+        std::vector<ActivityStats> lane_activity;
+        std::vector<std::vector<TilePart>> tile_parts;  ///< cycle-accurate path
+        std::vector<CycleBreakdown> breakdowns;         ///< cycle-accurate path
+        std::vector<QueryShard> shards;       ///< merge shards, shared across heads
+        std::vector<QueryShard> tile_bounds;  ///< per-tile part query range [lo, hi)
+    };
+
     HeadResult run_head_on_plan(const SchedulePlan& plan, const HybridPattern& pattern,
                                 const Matrix<float>& q, const Matrix<float>& k,
                                 const Matrix<float>& v, float scale) const;
 
+    /// `threads` is the lane budget for THIS head (1 = sequential; callers
+    /// running heads in parallel pass 1 so levels never nest). `ws` may be
+    /// null (a scratch workspace is created when needed).
+    HeadResult run_head_impl(const SchedulePlan& plan, const HybridPattern& pattern,
+                             const Matrix<float>& q, const Matrix<float>& k,
+                             const Matrix<float>& v, float scale, int threads,
+                             ParallelWorkspace* ws = nullptr) const;
+
+    HeadResult run_head_sequential(const SchedulePlan& plan,
+                                   const Matrix<std::int8_t>& qq,
+                                   const Matrix<std::int8_t>& kq,
+                                   const Matrix<std::int8_t>& vq) const;
+
+    HeadResult run_head_parallel(const SchedulePlan& plan, const Matrix<std::int8_t>& qq,
+                                 const Matrix<std::int8_t>& kq,
+                                 const Matrix<std::int8_t>& vq,
+                                 ParallelWorkspace& ws) const;
+
+    /// The persistent worker pool (built on first use, sized num_threads).
+    ThreadPool& pool() const;
+
     SaloConfig config_;
     PwlExp exp_unit_;
     Reciprocal recip_unit_;
+    mutable std::once_flag pool_once_;
+    mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace salo

@@ -79,15 +79,4 @@ double Reciprocal::max_rel_error(double lo, double hi, int samples) const {
     return worst;
 }
 
-SprimeRaw normalize_prob(ExpRaw exp_raw, InvRaw inv_raw) {
-    // exp (Q.14) * inv (Q.30) -> Q.44, renormalize to Q.15. Because every
-    // exponential term is bounded by the row sum, exp*inv <= 1 and the
-    // 64-bit product cannot overflow (exp_raw <= W_raw, inv_raw ~= 2^44/W_raw).
-    const std::uint64_t prod = static_cast<std::uint64_t>(exp_raw) * inv_raw;
-    const int shift = Datapath::exp_frac + Datapath::inv_frac - Datapath::sprime_frac;
-    std::uint64_t q = (prod + (std::uint64_t{1} << (shift - 1))) >> shift;
-    if (q > std::numeric_limits<SprimeRaw>::max()) q = std::numeric_limits<SprimeRaw>::max();
-    return static_cast<SprimeRaw>(q);
-}
-
 }  // namespace salo

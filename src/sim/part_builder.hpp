@@ -17,9 +17,32 @@ namespace salo {
 
 /// Build the normalized output part for `query` given its raw scores and
 /// the key ids they belong to. Updates exp/MAC activity counters.
+/// Reference implementation: allocates the part and accumulates stage 5 in
+/// int64, exactly as the original datapath model did. Kept as the baseline
+/// for bench_throughput and for bit-identity tests against the fast path.
 TilePart build_part(const PwlExp& exp_unit, const Reciprocal& recip_unit,
                     const Matrix<std::int8_t>& v, int query,
                     const std::vector<ScoreRaw>& scores, const std::vector<int>& key_ids,
                     ActivityStats& activity);
+
+/// Scratch buffers reused across build_part_into calls (no per-part heap
+/// traffic). One instance per worker lane.
+struct PartScratch {
+    std::vector<ScoreRaw> scores;
+    std::vector<int> keys;
+    std::vector<ExpRaw> exps;
+    std::vector<std::uint32_t> sps;  ///< stage-4 probabilities (Q.15)
+};
+
+/// Fast path: same computation as build_part, written into an arena-owned
+/// part. Stage 5 accumulates sp * v directly into part.out_q in int32 —
+/// exact, because the Q.15 probabilities of a row sum to ~1.0 (bounded by
+/// 1 + the reciprocal unit's relative error), keeping |acc| < 2^23 — and
+/// the final Q.19 -> Q.wsm_frac renormalization happens in place.
+/// Bit-identical to build_part for every input (tested).
+void build_part_into(const PwlExp& exp_unit, const Reciprocal& recip_unit,
+                     const Matrix<std::int8_t>& v, int query, const ScoreRaw* scores,
+                     const int* key_ids, int count, ActivityStats& activity,
+                     TilePart& part, PartScratch& scratch);
 
 }  // namespace salo

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "numeric/datapath.hpp"
 
 namespace salo {
@@ -17,6 +18,52 @@ struct TilePart {
     int query = -1;
     SumRaw weight = 0;                  ///< W = sum of exp terms (Q.exp_frac)
     std::vector<std::int32_t> out_q;    ///< normalized output, Q.wsm_frac
+};
+
+/// Recycling allocator for TileParts. A worker lane executes many tiles per
+/// layer; allocating each part's out_q vector fresh dominated the original
+/// profile, so the arena keeps every part (and its out_q capacity) alive
+/// across reset() and hands out cleared slots in order. Parts are addressed
+/// by stable indices — the backing vector may reallocate while spans are
+/// being recorded, so callers hold indices, not pointers.
+class PartArena {
+public:
+    /// Forget all parts but keep their buffers for reuse.
+    void reset() { used_ = 0; }
+
+    /// Next cleared part with out_q sized to d. Valid until the next reset().
+    TilePart& alloc(int d) {
+        if (used_ == parts_.size()) parts_.emplace_back();
+        TilePart& p = parts_[used_++];
+        p.query = -1;
+        p.weight = 0;
+        p.out_q.assign(static_cast<std::size_t>(d), 0);
+        return p;
+    }
+
+    /// Discard the most recently alloc()ed part (e.g. a massless part that
+    /// carries no contribution); its buffers stay pooled for reuse.
+    void drop_last() {
+        SALO_ASSERT(used_ > 0);
+        --used_;
+    }
+
+    std::size_t used() const { return used_; }
+    const TilePart& at(std::size_t i) const { return parts_[i]; }
+
+private:
+    std::vector<TilePart> parts_;
+    std::size_t used_ = 0;
+};
+
+/// Where one tile's output parts live: a contiguous index range in the
+/// arena of the worker lane that executed the tile. Recording spans per tile
+/// lets the merge phase replay parts in schedule order regardless of which
+/// lane ran which tile.
+struct PartSpan {
+    int lane = -1;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
 };
 
 /// Per-stage cycle counts for one tile pass (paper Fig. 6's five stages).

@@ -6,6 +6,16 @@
 // emits renormalizable TileParts. The cycle-accurate model produces
 // bit-identical values (it calls the same numeric kernels in a timed loop);
 // this class is the fast path used for full-layer runs.
+//
+// Two entry points with bit-identical outputs:
+//   * run(tile, arena, activity, scratch) — the hot path: dispatched SIMD
+//     dot products, segment-wise key streaming (no per-column segment
+//     lookups), and arena-recycled parts with zero per-tile heap traffic.
+//     Thread-safe: concurrent calls on one executor are fine as long as each
+//     worker lane owns its arena and scratch.
+//   * run(tile, parts, activity) — the original scalar implementation,
+//     preserved verbatim as the reference baseline for bench_throughput and
+//     for the bit-identity tests.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +24,7 @@
 #include "numeric/pwl_exp.hpp"
 #include "numeric/reciprocal.hpp"
 #include "scheduler/tile.hpp"
+#include "sim/part_builder.hpp"
 #include "sim/parts.hpp"
 #include "tensor/matrix.hpp"
 
@@ -26,13 +37,20 @@ public:
                  const Matrix<std::int8_t>& q, const Matrix<std::int8_t>& k,
                  const Matrix<std::int8_t>& v);
 
-    /// Execute one tile; appends the tile's output parts (PE-array rows,
-    /// global-column contributions, global-row contribution) to `parts` and
-    /// updates activity counters.
+    /// Hot path: execute one tile, appending its output parts (PE-array
+    /// rows, global-column contributions, global-row contribution, in that
+    /// order) to `arena` and updating activity counters. `scratch` is reused
+    /// across calls; use one arena + scratch per worker lane.
+    void run(const TileTask& tile, PartArena& arena, ActivityStats& activity,
+             PartScratch& scratch) const;
+
+    /// Reference path: identical results into a plain vector (the original
+    /// per-tile implementation; scalar, allocation-heavy).
     void run(const TileTask& tile, std::vector<TilePart>& parts,
              ActivityStats& activity) const;
 
     /// Stage-1 dot product: sum_t q[qi][t]*k[ki][t], raw Q.acc_frac.
+    /// (Reference scalar form; the hot path uses kernels::dot_i8.)
     ScoreRaw score(int qi, int ki) const;
 
     int head_dim() const { return q_->cols(); }

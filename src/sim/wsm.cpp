@@ -1,6 +1,7 @@
 #include "sim/wsm.hpp"
 
 #include "common/assert.hpp"
+#include "sim/kernels.hpp"
 
 namespace salo {
 
@@ -27,11 +28,17 @@ WeightedSumModule::WeightedSumModule(int n, int d, const Reciprocal& recip_unit)
     SALO_EXPECTS(n >= 1 && d >= 1);
 }
 
+bool WeightedSumModule::merge_shard(const TilePart& part, int q_lo, int q_hi) {
+    if (part.query < q_lo || part.query >= q_hi) return false;
+    merge(part);
+    return true;
+}
+
 void WeightedSumModule::merge(const TilePart& part) {
     SALO_EXPECTS(part.query >= 0 && part.query < n_);
     SALO_EXPECTS(static_cast<int>(part.out_q.size()) == d_);
     if (part.weight == 0) return;  // massless part: no contribution
-    ++merges_;
+    merges_.fetch_add(1, std::memory_order_relaxed);
     const auto qi = static_cast<std::size_t>(part.query);
     std::int32_t* out = &out_q_[qi * static_cast<std::size_t>(d_)];
     if (!initialized_[qi]) {
@@ -46,13 +53,8 @@ void WeightedSumModule::merge(const TilePart& part) {
     const InvRaw inv = recip_unit_->inv_raw(w_total);
     const std::uint32_t a = normalize_weight(w_prev, inv);  // Q.15
     const std::uint32_t b = normalize_weight(w_new, inv);   // Q.15
-    constexpr int sf = Datapath::sprime_frac;
-    for (int t = 0; t < d_; ++t) {
-        const std::int64_t mixed =
-            static_cast<std::int64_t>(a) * out[t] +
-            static_cast<std::int64_t>(b) * part.out_q[static_cast<std::size_t>(t)];
-        out[t] = static_cast<std::int32_t>(round_shift(mixed, sf));
-    }
+    // out[t] = round_shift(a*out[t] + b*part[t], sprime_frac), vectorized.
+    kernels::mix_i32(out, part.out_q.data(), a, b, d_);
     weight_[qi] = w_total;
 }
 
