@@ -36,9 +36,23 @@ int main() {
     const Matrix<float> out_accel = encoder.forward(input, accelerated, &stats);
     const Matrix<float> out_gold = encoder.forward(input, oracle);
 
+    // The same stack through a serving session: each layer's attention is
+    // submitted as a request. Bit-identical to the synchronous engine run.
+    SaloSession session;
+    const Matrix<float> out_session = encoder.forward(input, session);
+    session.drain();  // stats readers synchronize on drain()
+    const SessionStats sstats = session.stats();
+
     AsciiTable table({"Metric", "Value"});
     table.add_row({"max |accelerated - golden|",
                    fmt(max_abs_diff(out_accel, out_gold), 4)});
+    table.add_row({"max |session - engine| (must be 0)",
+                   fmt(max_abs_diff(out_session, out_accel), 4)});
+    table.add_row({"session requests served",
+                   std::to_string(sstats.completed)});
+    table.add_row({"plan-cache hits / misses",
+                   std::to_string(sstats.plan_cache.hits) + " / " +
+                       std::to_string(sstats.plan_cache.misses)});
     table.add_row({"attention cycles (all layers/heads)",
                    std::to_string(stats.cycles)});
     table.add_row({"tiles executed", std::to_string(stats.tiles)});

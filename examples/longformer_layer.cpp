@@ -44,7 +44,10 @@ int main() {
     const AttentionWorkload small = longformer_small(256, 32, 2, 64, 1);
     const QkvSet qkv = make_qkv(small, /*seed=*/11);
     const SaloEngine engine(config);
-    const LayerResult run = engine.run(small.pattern, qkv.q, qkv.k, qkv.v, small.scale());
+    // Compile once, run many times: the plan is the reusable artifact a
+    // serving deployment would keep per layer shape.
+    const CompiledPlanPtr plan = compile_workload(small, config);
+    const LayerResult run = engine.run(*plan, qkv.q, qkv.k, qkv.v, small.scale());
 
     double worst = 0.0;
     for (int h = 0; h < small.heads; ++h) {

@@ -1,6 +1,7 @@
 // Survey of the sparse attention mechanisms from the paper's Figure 2,
 // rendered as ASCII masks with their sparsity and schedule statistics.
 // Usage: pattern_explorer [n]   (default n = 64)
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
@@ -40,17 +41,23 @@ int main(int argc, char** argv) {
                            std::to_string(side) + " grid)",
                        vil_2d(side, side, 5, 5, 1)});
 
-    const ArrayGeometry geometry;  // 32x32
-    AsciiTable summary({"Pattern", "n", "nnz", "Sparsity", "Tiles", "Occupancy"});
+    const SaloConfig config;  // 32x32 geometry
+    AsciiTable summary(
+        {"Pattern", "n", "nnz", "Sparsity", "Tiles", "Occupancy", "Fingerprint"});
     for (const Entry& e : entries) {
         std::cout << "=== " << e.name << " ===\n"
                   << e.pattern.ascii_art(40) << "\n";
-        const SchedulePlan plan = schedule(e.pattern, geometry, 64, {});
+        // compile() = scheduler pass + content fingerprint; the fingerprint
+        // is the PlanCache key a serving deployment shares plans under.
+        const CompiledPlan plan = compile(e.pattern, 64, config);
+        char fp[20];
+        std::snprintf(fp, sizeof fp, "%016llx",
+                      static_cast<unsigned long long>(plan.fingerprint()));
         summary.add_row({e.name, std::to_string(e.pattern.n()),
                          std::to_string(e.pattern.nnz()),
                          fmt(e.pattern.sparsity(), 3),
-                         std::to_string(plan.stats.total_tiles()),
-                         fmt(plan.stats.slot_occupancy(), 3)});
+                         std::to_string(plan.schedule_stats().total_tiles()),
+                         fmt(plan.schedule_stats().slot_occupancy(), 3), fp});
     }
     summary.print();
     std::cout << "\nAll of these run on SALO unmodified: the data scheduler maps\n"

@@ -71,9 +71,8 @@ int main(int argc, char** argv) {
     table.print();
 
     std::cout << "\n";
-    const auto plan = schedule(workload.pattern, config.geometry, head_dim,
-                               config.schedule_options);
-    std::cout << render_cycle_profile(plan, config.cycle_config()) << "\n";
-    std::cout << render_plan(plan, 8);
+    const CompiledPlan plan = compile(workload.pattern, head_dim, config);
+    std::cout << render_cycle_profile(plan.plan(), config.cycle_config()) << "\n";
+    std::cout << render_plan(plan.plan(), 8);
     return 0;
 }

@@ -33,7 +33,8 @@ int main() {
     const Matrix<float> v = random_matrix(small2d.n(), d, rng, 0.0, 0.8);
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
     const SaloEngine engine;
-    const HeadResult run = engine.run_head(small2d, q, k, v, scale);
+    const CompiledPlanPtr plan = engine.compile(small2d, d);
+    const HeadResult run = engine.run_head(*plan, q, k, v, scale);
     const Matrix<float> gold = SaloEngine::golden(small2d, q, k, v, scale);
     std::cout << "\nmax |SALO - golden| on the 12x12 grid: "
               << max_abs_diff(run.output, gold) << "\n\n";

@@ -1,0 +1,51 @@
+// 64-bit content hashing for plan fingerprints.
+//
+// FNV-1a with an avalanche finalizer: every fingerprinted structure feeds
+// its fields through one Fnv1a accumulator, so two objects hash equal iff
+// they feed the same byte stream. The stream always starts with a type tag
+// and field counts, which keeps variable-length sections (band lists,
+// global-token lists) from aliasing each other — the classic collision
+// between {a,b | c} and {a | b,c} concatenations.
+//
+// The digest is stable across runs and platforms of equal endianness; it is
+// a cache key, not a cryptographic hash.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace salo {
+
+class Fnv1a {
+public:
+    void mix_bytes(const void* data, std::size_t size) {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= p[i];
+            state_ *= 1099511628211ULL;
+        }
+    }
+
+    void mix(std::uint64_t v) { mix_bytes(&v, sizeof v); }
+    void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+    void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+    void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+    void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+
+    /// Finalized digest (splitmix64 avalanche so near-equal streams spread
+    /// over the whole 64-bit space).
+    std::uint64_t digest() const {
+        std::uint64_t x = state_;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return x;
+    }
+
+private:
+    std::uint64_t state_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+}  // namespace salo

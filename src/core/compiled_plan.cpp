@@ -1,0 +1,35 @@
+#include "core/compiled_plan.hpp"
+
+#include "common/hash.hpp"
+
+namespace salo {
+
+std::uint64_t plan_fingerprint(const HybridPattern& pattern, int head_dim,
+                               const ArrayGeometry& geometry,
+                               const ScheduleOptions& options) {
+    Fnv1a h;
+    h.mix(std::uint64_t{0x5A10'0004});  // type tag: plan key
+    h.mix(pattern.fingerprint());
+    h.mix(head_dim);
+    h.mix(geometry.fingerprint());
+    h.mix(options.fingerprint());
+    return h.digest();
+}
+
+CompiledPlan compile(const HybridPattern& pattern, int head_dim,
+                     const SaloConfig& config) {
+    config.validate();
+    SALO_EXPECTS(head_dim >= 1);
+    SchedulePlan plan =
+        schedule(pattern, config.geometry, head_dim, config.schedule_options);
+    const std::uint64_t key =
+        plan_fingerprint(pattern, head_dim, config.geometry, config.schedule_options);
+    return CompiledPlan(pattern, std::move(plan), key);
+}
+
+CompiledPlanPtr compile_shared(const HybridPattern& pattern, int head_dim,
+                               const SaloConfig& config) {
+    return std::make_shared<const CompiledPlan>(compile(pattern, head_dim, config));
+}
+
+}  // namespace salo

@@ -1,0 +1,69 @@
+// CompiledPlan: the immutable artifact separating workload *compilation*
+// from *execution* in the serving API.
+//
+//   compile(pattern, head_dim, config)  ->  CompiledPlan
+//
+// runs the data scheduler once and captures everything the engine needs to
+// execute the workload repeatedly: the tile schedule, its statistics, the
+// pattern (still needed by the golden oracle and for cache-collision
+// checks), and a 64-bit content fingerprint of (pattern, geometry,
+// schedule options, head_dim) — the exact inputs of schedule(). Two
+// compilations have equal fingerprints iff those inputs are equal, so the
+// fingerprint is the PlanCache key.
+//
+// CompiledPlan is deeply immutable after construction and safe to share
+// across threads, sessions and engines with the same geometry/options
+// (typically as std::shared_ptr<const CompiledPlan>).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "pattern/pattern.hpp"
+#include "scheduler/scheduler.hpp"
+
+namespace salo {
+
+class CompiledPlan {
+public:
+    /// Built by compile(); use that entry point rather than this ctor.
+    CompiledPlan(HybridPattern pattern, SchedulePlan plan, std::uint64_t fingerprint)
+        : pattern_(std::move(pattern)), plan_(std::move(plan)),
+          fingerprint_(fingerprint) {}
+
+    const HybridPattern& pattern() const { return pattern_; }
+    int n() const { return plan_.n; }
+    int head_dim() const { return plan_.head_dim; }
+    const ArrayGeometry& geometry() const { return plan_.geometry; }
+    const ScheduleOptions& options() const { return plan_.options; }
+    const SchedulePlan& plan() const { return plan_; }
+    const ScheduleStats& schedule_stats() const { return plan_.stats; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+private:
+    HybridPattern pattern_;
+    SchedulePlan plan_;
+    std::uint64_t fingerprint_;
+};
+
+using CompiledPlanPtr = std::shared_ptr<const CompiledPlan>;
+
+/// The cache key compile() stamps on its artifact: the combined content
+/// hash of every scheduling input. Exposed so callers can key their own
+/// caches the same way.
+std::uint64_t plan_fingerprint(const HybridPattern& pattern, int head_dim,
+                               const ArrayGeometry& geometry,
+                               const ScheduleOptions& options);
+
+/// Compile `pattern` for head dimension `head_dim` under `config`
+/// (geometry + schedule options; the execution knobs are ignored).
+/// Validates the config first and throws ContractViolation on nonsense.
+CompiledPlan compile(const HybridPattern& pattern, int head_dim,
+                     const SaloConfig& config);
+
+/// Shared-ownership variant for callers that pass plans around.
+CompiledPlanPtr compile_shared(const HybridPattern& pattern, int head_dim,
+                               const SaloConfig& config);
+
+}  // namespace salo

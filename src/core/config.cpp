@@ -1,0 +1,45 @@
+#include "core/config.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& field, const std::string& requirement,
+                         const std::string& got) {
+    throw ContractViolation("SaloConfig: " + field + " " + requirement + " (got " + got +
+                            ")");
+}
+
+void check_positive(const char* field, int value) {
+    if (value <= 0) reject(field, "must be positive", std::to_string(value));
+}
+
+}  // namespace
+
+void SaloConfig::validate() const {
+    check_positive("geometry.rows", geometry.rows);
+    check_positive("geometry.cols", geometry.cols);
+    if (geometry.num_global_rows < 0)
+        reject("geometry.num_global_rows", "must be >= 0",
+               std::to_string(geometry.num_global_rows));
+    if (geometry.num_global_cols < 0)
+        reject("geometry.num_global_cols", "must be >= 0",
+               std::to_string(geometry.num_global_cols));
+    check_positive("geometry.query_buffer_bytes", geometry.query_buffer_bytes);
+    check_positive("geometry.key_buffer_bytes", geometry.key_buffer_bytes);
+    check_positive("geometry.value_buffer_bytes", geometry.value_buffer_bytes);
+    check_positive("geometry.output_buffer_bytes", geometry.output_buffer_bytes);
+    if (!(geometry.frequency_ghz > 0.0) || !std::isfinite(geometry.frequency_ghz))
+        reject("geometry.frequency_ghz", "must be a positive finite value",
+               std::to_string(geometry.frequency_ghz));
+    check_positive("bus_bytes_per_cycle", bus_bytes_per_cycle);
+    check_positive("plan_cache_capacity", plan_cache_capacity);
+    // num_threads is deliberately unconstrained: <= 0 means "auto".
+}
+
+}  // namespace salo

@@ -12,13 +12,6 @@ namespace salo {
 
 namespace {
 
-int effective_threads(const SaloConfig& config) {
-    // <= 0 means "auto" (the seed engine clamped such values rather than
-    // rejecting them; auto is the useful reading now that the default is
-    // hardware_concurrency anyway).
-    return config.num_threads <= 0 ? default_num_threads() : config.num_threads;
-}
-
 /// Min/max query id over a tile's emitted parts, as a [lo, hi) range for
 /// the merge phase's shard-skip test ({0, 0} when the tile emitted none).
 /// `for_each_part` invokes its callback once per part, in any order.
@@ -84,20 +77,31 @@ private:
 SaloEngine::SaloEngine() : SaloEngine(SaloConfig{}) {}
 
 SaloEngine::SaloEngine(const SaloConfig& config)
-    : config_(config), exp_unit_(config.exp_config), recip_unit_(config.recip_config) {
-    config_.geometry.validate();
-    SALO_EXPECTS(config_.bus_bytes_per_cycle > 0);
+    : config_(config), exp_unit_(config.exp_config), recip_unit_(config.recip_config),
+      plan_cache_(static_cast<std::size_t>(std::max(1, config.plan_cache_capacity))) {
+    config_.validate();
 }
 
 ThreadPool& SaloEngine::pool() const {
     std::call_once(pool_once_, [this] {
-        pool_ = std::make_unique<ThreadPool>(effective_threads(config_));
+        pool_ = std::make_unique<ThreadPool>(config_.effective_threads());
     });
     return *pool_;
 }
 
+CompiledPlanPtr SaloEngine::compile(const HybridPattern& pattern, int head_dim) const {
+    return plan_cache_.get_or_compile(pattern, head_dim, config_);
+}
+
+PlanCacheStats SaloEngine::plan_cache_stats() const { return plan_cache_.stats(); }
+
 SchedulePlan SaloEngine::plan(const HybridPattern& pattern, int head_dim) const {
     return schedule(pattern, config_.geometry, head_dim, config_.schedule_options);
+}
+
+void SaloEngine::check_compatible(const CompiledPlan& plan) const {
+    SALO_EXPECTS(plan.geometry() == config_.geometry);
+    SALO_EXPECTS(plan.options() == config_.schedule_options);
 }
 
 Matrix<float> SaloEngine::golden(const HybridPattern& pattern, const Matrix<float>& q,
@@ -106,24 +110,19 @@ Matrix<float> SaloEngine::golden(const HybridPattern& pattern, const Matrix<floa
     return masked_attention(q, k, v, scale, pattern.attend_fn());
 }
 
-HeadResult SaloEngine::run_head_on_plan(const SchedulePlan& plan,
-                                        const HybridPattern& pattern,
-                                        const Matrix<float>& q, const Matrix<float>& k,
-                                        const Matrix<float>& v, float scale) const {
-    return run_head_impl(plan, pattern, q, k, v, scale, effective_threads(config_));
-}
-
 HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
                                      const HybridPattern& pattern,
                                      const Matrix<float>& q, const Matrix<float>& k,
-                                     const Matrix<float>& v, float scale, int threads,
+                                     const Matrix<float>& v, float scale,
+                                     Fidelity fidelity, int threads,
                                      ParallelWorkspace* ws) const {
     const int n = q.rows();
     const int d = q.cols();
     SALO_EXPECTS(n == pattern.n());
     SALO_EXPECTS(k.rows() == n && v.rows() == n && k.cols() == d && v.cols() == d);
+    SALO_EXPECTS(plan.n == n && plan.head_dim == d);
 
-    if (config_.fidelity == Fidelity::kGolden) {
+    if (fidelity == Fidelity::kGolden) {
         HeadResult result;
         result.output = golden(pattern, q, k, v, scale);
         return result;
@@ -141,14 +140,14 @@ HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
     // the flag beats silently benchmarking the optimized path as "seed".
     const bool parallel_ok = !config_.reference_datapath;
     if (parallel_ok && threads > 1 && static_cast<int>(plan.tiles.size()) > 1) {
-        if (ws != nullptr) return run_head_parallel(plan, qq, kq, vq, *ws);
+        if (ws != nullptr) return run_head_parallel(plan, fidelity, qq, kq, vq, *ws);
         ParallelWorkspace scratch_ws;
-        return run_head_parallel(plan, qq, kq, vq, scratch_ws);
+        return run_head_parallel(plan, fidelity, qq, kq, vq, scratch_ws);
     }
-    return run_head_sequential(plan, qq, kq, vq);
+    return run_head_sequential(plan, fidelity, qq, kq, vq);
 }
 
-HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan,
+HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fidelity,
                                            const Matrix<std::int8_t>& qq,
                                            const Matrix<std::int8_t>& kq,
                                            const Matrix<std::int8_t>& vq) const {
@@ -159,7 +158,7 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan,
     const CycleConfig ccfg = config_.cycle_config();
     TileAccountant accountant(config_, d);
 
-    if (config_.fidelity == Fidelity::kFunctional) {
+    if (fidelity == Fidelity::kFunctional) {
         const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
         if (config_.reference_datapath) {
             std::vector<TilePart> parts;
@@ -216,7 +215,7 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan,
 //          (the load-overlap model is inherently sequential, but it is
 //          O(tiles), not O(work)).
 // ---------------------------------------------------------------------------
-HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
+HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fidelity,
                                          const Matrix<std::int8_t>& qq,
                                          const Matrix<std::int8_t>& kq,
                                          const Matrix<std::int8_t>& vq,
@@ -227,6 +226,7 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
     HeadResult result;
     WeightedSumModule wsm(n, d, recip_unit_);
     const CycleConfig ccfg = config_.cycle_config();
+    TileAccountant accountant(config_, d);
     ThreadPool& workers = pool();
     const int lanes = workers.lanes();
 
@@ -234,7 +234,6 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
     std::vector<ActivityStats>& lane_activity = ws.lane_activity;
     ws.tile_bounds.resize(static_cast<std::size_t>(num_tiles));
     std::vector<QueryShard>& tile_bounds = ws.tile_bounds;
-    TileAccountant accountant(config_, d);
 
     // Phase B, shared by both fidelities: every shard replays the full tile
     // list in schedule order — skipping tiles whose part queries fall
@@ -255,7 +254,7 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
         });
     };
 
-    if (config_.fidelity == Fidelity::kFunctional) {
+    if (fidelity == Fidelity::kFunctional) {
         const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
         ws.arenas.resize(static_cast<std::size_t>(lanes));
         for (PartArena& a : ws.arenas) a.reset();
@@ -333,32 +332,46 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan,
     return result;
 }
 
-HeadResult SaloEngine::run_head(const HybridPattern& pattern, const Matrix<float>& q,
+// ---------------------------------------------------------------------------
+// Compiled-plan entry points.
+// ---------------------------------------------------------------------------
+
+HeadResult SaloEngine::run_head(const CompiledPlan& plan, const Matrix<float>& q,
                                 const Matrix<float>& k, const Matrix<float>& v,
                                 float scale) const {
-    const SchedulePlan p = plan(pattern, q.cols());
-    return run_head_on_plan(p, pattern, q, k, v, scale);
+    check_compatible(plan);
+    return run_head_impl(plan.plan(), plan.pattern(), q, k, v, scale, config_.fidelity,
+                         config_.effective_threads());
 }
 
-LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& q,
+LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
                             const Tensor3<float>& k, const Tensor3<float>& v,
                             float scale) const {
+    return run(plan, q, k, v, scale, config_.fidelity, 0);
+}
+
+LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
+                            const Tensor3<float>& k, const Tensor3<float>& v, float scale,
+                            Fidelity fidelity, int thread_budget) const {
+    check_compatible(plan);
     SALO_EXPECTS(q.count() == k.count() && k.count() == v.count());
     SALO_EXPECTS(q.count() >= 1);
+    const SchedulePlan& p = plan.plan();
+    const HybridPattern& pattern = plan.pattern();
     LayerResult result;
     result.output = Tensor3<float>(q.count(), q.rows(), q.cols());
-    const SchedulePlan p = plan(pattern, q.cols());
     result.schedule = p.stats;
 
     const int heads = q.count();
-    const int threads = effective_threads(config_);
+    const int threads =
+        thread_budget <= 0 ? config_.effective_threads() : thread_budget;
     std::vector<HeadResult> head_results(static_cast<std::size_t>(heads));
 
     if (threads == 1) {
         for (int h = 0; h < heads; ++h)
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, 1);
-    } else if (!config_.reference_datapath && config_.fidelity != Fidelity::kGolden &&
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1);
+    } else if (!config_.reference_datapath && fidelity != Fidelity::kGolden &&
                (static_cast<int>(p.tiles.size()) >= 2 * threads || heads == 1)) {
         // (Golden fidelity has no tiles to parallelize — it goes through the
         // head-parallel branch below, like the original engine striped it.)
@@ -368,7 +381,7 @@ LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& 
         ParallelWorkspace ws;
         for (int h = 0; h < heads; ++h)
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, threads, &ws);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, threads, &ws);
     } else {
         // Small plans — and the reference datapath, which exists only in
         // the sequential tile loop but still parallelizes across heads,
@@ -377,7 +390,7 @@ LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& 
         // runs the sequential path (the two levels never nest).
         pool().parallel_for(heads, [&](int h, int) {
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, 1);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1);
         });
     }
 
@@ -386,6 +399,25 @@ LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& 
         result.stats += head_results[static_cast<std::size_t>(h)].stats;
     }
     return result;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy one-shot API: thin shims over compile + run. The engine's
+// PlanCache makes repeated calls with the same pattern/geometry free of
+// scheduler work.
+// ---------------------------------------------------------------------------
+
+HeadResult SaloEngine::run_head(const HybridPattern& pattern, const Matrix<float>& q,
+                                const Matrix<float>& k, const Matrix<float>& v,
+                                float scale) const {
+    return run_head(*compile(pattern, q.cols()), q, k, v, scale);
+}
+
+LayerResult SaloEngine::run(const HybridPattern& pattern, const Tensor3<float>& q,
+                            const Tensor3<float>& k, const Tensor3<float>& v,
+                            float scale) const {
+    SALO_EXPECTS(q.count() >= 1);
+    return run(*compile(pattern, q.cols()), q, k, v, scale);
 }
 
 }  // namespace salo

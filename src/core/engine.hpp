@@ -1,10 +1,21 @@
-// SaloEngine: the end-to-end public API of the SALO reproduction.
+// SaloEngine: the execution back end of the SALO reproduction.
 //
 // Drives the full pipeline of the paper's Figure 3: the hybrid sparse
 // attention pattern and hardware metadata go to the data scheduler; the
 // quantized Query/Key/Value stream through the spatial accelerator
 // (functional or cycle-accurate model); per-part outputs are merged by the
 // weighted-sum module (Eq. 2); the result is dequantized back to float.
+//
+// API lifecycle (see docs/API.md):
+//
+//   compile(pattern, head_dim, config) -> CompiledPlan   // once per shape
+//   engine.run(plan, q, k, v, scale)   -> LayerResult    // many times
+//
+// The engine also keeps an internal PlanCache, so the legacy one-shot
+// run_head(pattern, ...)/run(pattern, ...) calls — now thin shims over the
+// compiled-plan API — no longer re-run the scheduler on every invocation.
+// For request-level serving (many in-flight layers batched onto one worker
+// pool) use SaloSession (core/session.hpp).
 //
 // Fidelity levels:
 //   kGolden        — float masked attention, no hardware at all (oracle);
@@ -22,9 +33,10 @@
 
 #include <memory>
 #include <mutex>
-#include <thread>
 
 #include "common/thread_pool.hpp"
+#include "core/config.hpp"
+#include "core/plan_cache.hpp"
 #include "numeric/pwl_exp.hpp"
 #include "numeric/reciprocal.hpp"
 #include "pattern/pattern.hpp"
@@ -35,58 +47,6 @@
 #include "tensor/tensor3.hpp"
 
 namespace salo {
-
-enum class Fidelity {
-    kGolden,
-    kFunctional,
-    kCycleAccurate,
-};
-
-/// One simulation lane per hardware thread (>= 1).
-inline int default_num_threads() {
-    const unsigned hc = std::thread::hardware_concurrency();
-    return hc == 0 ? 1 : static_cast<int>(hc);
-}
-
-struct SaloConfig {
-    ArrayGeometry geometry;
-    PwlExp::Config exp_config;
-    Reciprocal::Config recip_config;
-    ScheduleOptions schedule_options;
-    Fidelity fidelity = Fidelity::kFunctional;
-
-    /// Off-chip bandwidth model: bytes transferred per cycle into the
-    /// double-buffered SRAMs. Tile loads overlap compute; a tile stalls only
-    /// when its input load is longer than the previous tile's compute.
-    int bus_bytes_per_cycle = 64;
-    bool double_buffer = true;
-
-    /// Inter-tile stage overlap: stage 3 (row ripple + reciprocal +
-    /// broadcast) uses the adder tree and the shared reciprocal unit, not
-    /// the PE MACs, so the next tile's stage-1 systolic pass can run under
-    /// it. When enabled, every tile after the first hides its stage-3
-    /// latency. Off by default (the paper does not describe the overlap);
-    /// quantified in bench_ablation.
-    bool tile_pipelining = false;
-
-    /// Host-side parallelism for simulation speed only: results are
-    /// bit-identical for every value. Defaults to all hardware threads; an
-    /// explicit 1 forces the plain sequential path (no pool involved), and
-    /// values <= 0 mean "auto" (hardware concurrency).
-    int num_threads = default_num_threads();
-
-    /// Run the original scalar datapath loops (per-tile allocations, span
-    /// indexing, int64 stage-5 accumulation) instead of the optimized
-    /// kernels. Same results bit-for-bit; kept as the measured baseline for
-    /// bench_throughput and for bit-identity tests.
-    bool reference_datapath = false;
-
-    CycleConfig cycle_config() const {
-        CycleConfig c;
-        c.recip = recip_config;
-        return c;
-    }
-};
 
 struct HeadResult {
     Matrix<float> output;  ///< n x d attention output
@@ -106,17 +66,56 @@ public:
 
     const SaloConfig& config() const { return config_; }
 
-    /// Run one attention head. `scale` (typically 1/sqrt(d)) is folded into
-    /// Q before quantization, as the hardware driver would do.
+    // --- Compiled-plan API -------------------------------------------------
+
+    /// Compile `pattern` for `head_dim` through the engine's PlanCache:
+    /// repeated shapes return the shared cached artifact without re-running
+    /// the scheduler. Thread-safe.
+    CompiledPlanPtr compile(const HybridPattern& pattern, int head_dim) const;
+
+    /// Run one attention head on a compiled plan. `scale` (typically
+    /// 1/sqrt(d)) is folded into Q before quantization, as the hardware
+    /// driver would do. The plan must have been compiled for this engine's
+    /// geometry and schedule options.
+    HeadResult run_head(const CompiledPlan& plan, const Matrix<float>& q,
+                        const Matrix<float>& k, const Matrix<float>& v,
+                        float scale) const;
+
+    /// Run a multi-head attention layer on a compiled plan; the schedule is
+    /// shared across heads.
+    LayerResult run(const CompiledPlan& plan, const Tensor3<float>& q,
+                    const Tensor3<float>& k, const Tensor3<float>& v,
+                    float scale) const;
+
+    /// Advanced overload (SaloSession batching): per-call fidelity and
+    /// execution shape. `thread_budget` <= 0 means the configured thread
+    /// count; 1 forces the pure sequential path with no pool involvement,
+    /// so many such calls can run concurrently. Values > 1 are NOT a lane
+    /// bound: they select the parallel path, which always runs on the
+    /// engine's full pool, and concurrent parallel regions serialize on
+    /// that pool — callers building their own batchers should pass 1 per
+    /// request (as SaloSession does) and parallelize across calls. Results
+    /// are bit-identical for every value.
+    LayerResult run(const CompiledPlan& plan, const Tensor3<float>& q,
+                    const Tensor3<float>& k, const Tensor3<float>& v, float scale,
+                    Fidelity fidelity, int thread_budget) const;
+
+    /// Cumulative statistics of the internal PlanCache serving compile()
+    /// and the legacy shims.
+    PlanCacheStats plan_cache_stats() const;
+
+    // --- Legacy one-shot API (shims over compile + run) --------------------
+
+    /// Equivalent to run_head(*compile(pattern, q.cols()), ...).
     HeadResult run_head(const HybridPattern& pattern, const Matrix<float>& q,
                         const Matrix<float>& k, const Matrix<float>& v, float scale) const;
 
-    /// Run a multi-head attention layer; the schedule is built once and
-    /// reused across heads.
+    /// Equivalent to run(*compile(pattern, q.cols()), ...).
     LayerResult run(const HybridPattern& pattern, const Tensor3<float>& q,
                     const Tensor3<float>& k, const Tensor3<float>& v, float scale) const;
 
-    /// The schedule this engine would use for `pattern` with head dim `d`.
+    /// The schedule this engine would use for `pattern` with head dim `d`
+    /// (uncached direct scheduler invocation; prefer compile()).
     SchedulePlan plan(const HybridPattern& pattern, int head_dim) const;
 
     /// Float oracle for the same computation (no quantization, no hardware).
@@ -124,6 +123,8 @@ public:
                                 const Matrix<float>& k, const Matrix<float>& v, float scale);
 
 private:
+    friend class SaloSession;  ///< batches requests onto the engine's pool
+
     /// Per-lane buffers of the tile-parallel path, reused across the heads
     /// of one layer so arenas keep their capacity (allocating ~parts-per-
     /// head of fresh vectors per head costs more than the merge itself).
@@ -138,24 +139,24 @@ private:
         std::vector<QueryShard> tile_bounds;  ///< per-tile part query range [lo, hi)
     };
 
-    HeadResult run_head_on_plan(const SchedulePlan& plan, const HybridPattern& pattern,
-                                const Matrix<float>& q, const Matrix<float>& k,
-                                const Matrix<float>& v, float scale) const;
+    /// The plan must match this engine's geometry/options (checked).
+    void check_compatible(const CompiledPlan& plan) const;
 
     /// `threads` is the lane budget for THIS head (1 = sequential; callers
     /// running heads in parallel pass 1 so levels never nest). `ws` may be
     /// null (a scratch workspace is created when needed).
     HeadResult run_head_impl(const SchedulePlan& plan, const HybridPattern& pattern,
                              const Matrix<float>& q, const Matrix<float>& k,
-                             const Matrix<float>& v, float scale, int threads,
-                             ParallelWorkspace* ws = nullptr) const;
+                             const Matrix<float>& v, float scale, Fidelity fidelity,
+                             int threads, ParallelWorkspace* ws = nullptr) const;
 
-    HeadResult run_head_sequential(const SchedulePlan& plan,
+    HeadResult run_head_sequential(const SchedulePlan& plan, Fidelity fidelity,
                                    const Matrix<std::int8_t>& qq,
                                    const Matrix<std::int8_t>& kq,
                                    const Matrix<std::int8_t>& vq) const;
 
-    HeadResult run_head_parallel(const SchedulePlan& plan, const Matrix<std::int8_t>& qq,
+    HeadResult run_head_parallel(const SchedulePlan& plan, Fidelity fidelity,
+                                 const Matrix<std::int8_t>& qq,
                                  const Matrix<std::int8_t>& kq,
                                  const Matrix<std::int8_t>& vq,
                                  ParallelWorkspace& ws) const;
@@ -166,6 +167,7 @@ private:
     SaloConfig config_;
     PwlExp exp_unit_;
     Reciprocal recip_unit_;
+    mutable PlanCache plan_cache_;
     mutable std::once_flag pool_once_;
     mutable std::unique_ptr<ThreadPool> pool_;
 };

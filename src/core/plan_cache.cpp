@@ -1,0 +1,81 @@
+#include "core/plan_cache.hpp"
+
+namespace salo {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool PlanCache::matches(const CompiledPlan& cached, const HybridPattern& pattern,
+                        int head_dim, const SaloConfig& config) const {
+    return cached.head_dim() == head_dim && cached.geometry() == config.geometry &&
+           cached.options() == config.schedule_options && cached.pattern() == pattern;
+}
+
+CompiledPlanPtr PlanCache::get_or_compile(const HybridPattern& pattern, int head_dim,
+                                          const SaloConfig& config) {
+    const std::uint64_t key =
+        plan_fingerprint(pattern, head_dim, config.geometry, config.schedule_options);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        const auto it = by_key_.find(key);
+        if (it != by_key_.end() && matches(**it->second, pattern, head_dim, config)) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+            return *it->second;
+        }
+        ++misses_;
+    }
+
+    // Compile outside the lock: a miss must not stall concurrent hits.
+    CompiledPlanPtr fresh = compile_shared(pattern, head_dim, config);
+
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        if (matches(**it->second, pattern, head_dim, config)) {
+            // Another thread compiled the same key while we did: adopt the
+            // canonical copy so all callers share one artifact.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return *it->second;
+        }
+        // True fingerprint collision: replace the stale entry.
+        lru_.erase(it->second);
+        by_key_.erase(it);
+    }
+    insert_locked(fresh);
+    return fresh;
+}
+
+void PlanCache::insert_locked(CompiledPlanPtr plan) {
+    lru_.push_front(std::move(plan));
+    by_key_[lru_.front()->fingerprint()] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        by_key_.erase(lru_.back()->fingerprint());
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+CompiledPlanPtr PlanCache::peek(std::uint64_t fingerprint) const {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = by_key_.find(fingerprint);
+    return it == by_key_.end() ? nullptr : *it->second;
+}
+
+PlanCacheStats PlanCache::stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    PlanCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = lru_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void PlanCache::clear() {
+    std::lock_guard<std::mutex> lock(m_);
+    lru_.clear();
+    by_key_.clear();
+}
+
+}  // namespace salo

@@ -1,0 +1,73 @@
+// PlanCache: a thread-safe LRU cache of CompiledPlans keyed by the plan
+// fingerprint, so repeated layers/workloads never re-run the data
+// scheduler.
+//
+// Concurrency: lookups and insertions take one mutex; the expensive
+// compile of a miss runs *outside* the lock, so a slow compilation never
+// blocks other threads' hits. Two threads missing on the same key may both
+// compile; the first insertion wins and the loser adopts it, so every
+// caller of one key observes the same shared artifact.
+//
+// Collisions: the fingerprint hashes the full scheduling input, but a
+// 64-bit hash can in principle collide. Every hit re-checks structural
+// equality (pattern, head_dim, geometry, options) against the cached plan;
+// a true collision is treated as a miss and replaces the entry rather than
+// serving the wrong schedule.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/compiled_plan.hpp"
+
+namespace salo {
+
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< includes fingerprint collisions
+    std::uint64_t evictions = 0;   ///< LRU capacity evictions
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+
+    double hit_rate() const {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+class PlanCache {
+public:
+    explicit PlanCache(std::size_t capacity = 64);
+
+    /// The cached plan for (pattern, head_dim, config geometry/options),
+    /// compiling and inserting it on a miss. Never returns null.
+    CompiledPlanPtr get_or_compile(const HybridPattern& pattern, int head_dim,
+                                   const SaloConfig& config);
+
+    /// The cached plan for `fingerprint`, or null. Does not touch LRU order
+    /// or the hit/miss counters (introspection only).
+    CompiledPlanPtr peek(std::uint64_t fingerprint) const;
+
+    PlanCacheStats stats() const;
+    void clear();
+
+private:
+    /// Most-recently-used at the front.
+    using LruList = std::list<CompiledPlanPtr>;
+
+    bool matches(const CompiledPlan& cached, const HybridPattern& pattern, int head_dim,
+                 const SaloConfig& config) const;
+    void insert_locked(CompiledPlanPtr plan);
+
+    mutable std::mutex m_;
+    std::size_t capacity_;
+    LruList lru_;
+    std::unordered_map<std::uint64_t, LruList::iterator> by_key_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace salo

@@ -3,13 +3,20 @@
 //   #include "core/salo.hpp"
 //
 // pulls in the pattern builders (Longformer / ViL / Star-Transformer /
-// Sparse-Transformer), the data scheduler, the engine with its three
-// fidelity levels, and the analytic performance models.
+// Sparse-Transformer), the data scheduler, the compile -> cache -> run
+// lifecycle (CompiledPlan / PlanCache / SaloEngine), the SaloSession
+// request-serving front end, and the analytic performance models. See
+// docs/API.md for the lifecycle and the migration from the legacy
+// one-shot calls.
 #pragma once
 
 #include "attention/golden.hpp"
 #include "common/rng.hpp"
+#include "core/compiled_plan.hpp"
+#include "core/config.hpp"
 #include "core/engine.hpp"
+#include "core/plan_cache.hpp"
+#include "core/session.hpp"
 #include "numeric/fixed.hpp"
 #include "numeric/pwl_exp.hpp"
 #include "numeric/quantize.hpp"

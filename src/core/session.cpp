@@ -1,0 +1,212 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace salo {
+
+AttentionRequest make_request(CompiledPlanPtr plan, Tensor3<float> q, Tensor3<float> k,
+                              Tensor3<float> v, float scale) {
+    AttentionRequest r;
+    r.plan = std::move(plan);
+    r.q = std::move(q);
+    r.k = std::move(k);
+    r.v = std::move(v);
+    r.scale = scale;
+    return r;
+}
+
+AttentionRequest make_request(HybridPattern pattern, Tensor3<float> q, Tensor3<float> k,
+                              Tensor3<float> v, float scale) {
+    AttentionRequest r;
+    r.pattern = std::move(pattern);
+    r.q = std::move(q);
+    r.k = std::move(k);
+    r.v = std::move(v);
+    r.scale = scale;
+    return r;
+}
+
+SaloSession::SaloSession(const SaloConfig& config, SessionOptions options)
+    : engine_(config), options_(options) {
+    dispatcher_ = std::thread([this] { serve_loop(); });
+}
+
+SaloSession::~SaloSession() { close(); }
+
+CompiledPlanPtr SaloSession::compile(const HybridPattern& pattern, int head_dim) const {
+    return engine_.compile(pattern, head_dim);
+}
+
+std::future<LayerResult> SaloSession::submit(AttentionRequest request) {
+    // Structural checks that are cheap and certainly caller bugs happen
+    // here, synchronously; shape/pattern mismatches surface through the
+    // future like any other execution error.
+    SALO_EXPECTS(request.plan != nullptr || request.pattern.has_value());
+    SALO_EXPECTS(request.q.count() >= 1);
+    SALO_EXPECTS(request.q.count() == request.k.count() &&
+                 request.k.count() == request.v.count());
+
+    Pending pending;
+    pending.request = std::move(request);
+    std::future<LayerResult> future = pending.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        if (options_.max_queue > 0)
+            cv_space_.wait(lock, [this] {
+                return closed_ || queue_.size() < options_.max_queue;
+            });
+        if (closed_) throw std::runtime_error("SaloSession: submit() after close()");
+        queue_.push_back(std::move(pending));
+        ++submitted_;
+    }
+    cv_work_.notify_one();
+    return future;
+}
+
+std::future<LayerResult> SaloSession::submit(CompiledPlanPtr plan, Tensor3<float> q,
+                                             Tensor3<float> k, Tensor3<float> v,
+                                             float scale) {
+    return submit(
+        make_request(std::move(plan), std::move(q), std::move(k), std::move(v), scale));
+}
+
+std::future<LayerResult> SaloSession::submit(const HybridPattern& pattern,
+                                             Tensor3<float> q, Tensor3<float> k,
+                                             Tensor3<float> v, float scale) {
+    return submit(make_request(pattern, std::move(q), std::move(k), std::move(v), scale));
+}
+
+void SaloSession::serve_batch(std::vector<Pending>& batch, std::uint64_t& ok,
+                              std::uint64_t& err) {
+    // Resolve every request's plan first (through the engine's PlanCache)
+    // so compilation cost is paid once per distinct shape, not once per
+    // lane, and so execution below touches no shared mutable state.
+    std::vector<CompiledPlanPtr> plans(batch.size());
+    std::vector<bool> dead(batch.size(), false);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Pending& p = batch[i];
+        try {
+            plans[i] = p.request.plan != nullptr
+                           ? p.request.plan
+                           : engine_.compile(*p.request.pattern, p.request.q.cols());
+        } catch (...) {
+            p.promise.set_exception(std::current_exception());
+            dead[i] = true;
+            ++err;
+        }
+    }
+
+    // Returns 1 on success, 0 on failure; never throws. Exceptions must not
+    // escape into the pool's rethrow path — that would abandon the other
+    // requests of the batch with broken promises.
+    auto execute = [&](std::size_t i, int thread_budget) -> int {
+        Pending& p = batch[i];
+        const Fidelity fidelity =
+            p.request.fidelity.value_or(engine_.config().fidelity);
+        try {
+            p.promise.set_value(engine_.run(*plans[i], p.request.q, p.request.k,
+                                            p.request.v, p.request.scale, fidelity,
+                                            thread_budget));
+            return 1;
+        } catch (...) {
+            p.promise.set_exception(std::current_exception());
+            return 0;
+        }
+    };
+
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        if (!dead[i]) live.push_back(i);
+
+    if (live.size() == 1) {
+        // Idle server: give the lone request the whole pool (tile-level
+        // parallelism inside the request, budget 0 = configured lanes).
+        if (execute(live.front(), /*thread_budget=*/0)) ++ok; else ++err;
+        return;
+    }
+    // Busy server: request-level parallelism. Each request runs the pure
+    // sequential path on one lane (budget 1) — no nested pool use,
+    // bit-identical to its standalone sequential run. Outcomes land in a
+    // per-request slot; the shared tallies are summed after the barrier.
+    std::vector<int> outcome(live.size(), 0);
+    engine_.pool().parallel_for(static_cast<int>(live.size()), [&](int i, int) {
+        outcome[static_cast<std::size_t>(i)] =
+            execute(live[static_cast<std::size_t>(i)], /*thread_budget=*/1);
+    });
+    for (int v : outcome) {
+        if (v) ++ok; else ++err;
+    }
+}
+
+void SaloSession::serve_loop() {
+    std::vector<Pending> batch;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_work_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (closed_) return;
+                continue;
+            }
+            std::size_t take = queue_.size();
+            if (options_.max_batch > 0 && take > options_.max_batch)
+                take = options_.max_batch;
+            batch.clear();
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            in_flight_ = batch.size();
+        }
+        cv_space_.notify_all();
+
+        std::uint64_t ok = 0, err = 0;
+        serve_batch(batch, ok, err);
+
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            completed_ += ok;
+            failed_ += err;
+            ++batches_;
+            if (batch.size() > max_batch_seen_) max_batch_seen_ = batch.size();
+            in_flight_ = 0;
+        }
+        cv_idle_.notify_all();
+    }
+}
+
+void SaloSession::drain() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void SaloSession::close() {
+    std::thread to_join;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        closed_ = true;
+        // Only the first closer takes the thread handle; a concurrent
+        // close() sees a default-constructed (non-joinable) thread.
+        to_join = std::move(dispatcher_);
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    if (to_join.joinable()) to_join.join();
+}
+
+SessionStats SaloSession::stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    SessionStats s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.batches = batches_;
+    s.max_batch = max_batch_seen_;
+    s.plan_cache = engine_.plan_cache_stats();
+    return s;
+}
+
+}  // namespace salo

@@ -1,0 +1,143 @@
+// SaloSession: the request-serving front end of the engine.
+//
+// A session turns the one-shot, synchronous engine into a queue-centric
+// server: callers submit AttentionRequests (a compiled plan or a pattern,
+// plus Q/K/V) and immediately receive a std::future<LayerResult>. A
+// dispatcher thread drains the queue in arrival order and batches all
+// currently-queued requests onto the engine's persistent worker pool:
+//
+//   * a batch of one (an idle server) executes with the full lane budget —
+//     tile-level parallelism inside the single request;
+//   * a batch of many heterogeneous requests (different patterns, sequence
+//     lengths, fidelities) executes request-parallel — each request runs
+//     the pure sequential path on one pool lane, so the pool is busy with
+//     real work instead of fork/join barriers.
+//
+// Determinism: both shapes are bit-identical to the sequential
+// SaloEngine::run of the same request (the engine guarantee), so a serving
+// deployment can replay any request standalone and get the same bits.
+//
+// Plans are resolved through the engine's PlanCache: a request that carries
+// only a pattern compiles it on first sight and hits the cache afterwards —
+// repeated layers never re-run the scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace salo {
+
+/// One unit of serving work: a multi-head attention layer.
+struct AttentionRequest {
+    /// Pre-compiled plan (preferred: shareable, zero scheduler work). May
+    /// be null if `pattern` is set, in which case the session compiles the
+    /// pattern through the engine's PlanCache.
+    CompiledPlanPtr plan;
+    std::optional<HybridPattern> pattern;
+
+    Tensor3<float> q, k, v;  ///< [heads][n][head_dim]
+    float scale = 1.0f;      ///< typically 1/sqrt(head_dim)
+
+    /// Per-request fidelity override (e.g. a golden-oracle request on a
+    /// functional-fidelity session). Defaults to the engine's fidelity.
+    std::optional<Fidelity> fidelity;
+};
+
+/// Convenience builders for the two request flavours.
+AttentionRequest make_request(CompiledPlanPtr plan, Tensor3<float> q, Tensor3<float> k,
+                              Tensor3<float> v, float scale);
+AttentionRequest make_request(HybridPattern pattern, Tensor3<float> q, Tensor3<float> k,
+                              Tensor3<float> v, float scale);
+
+struct SessionOptions {
+    /// Maximum queued (not yet dispatched) requests; submit() blocks when
+    /// the queue is full. 0 = unbounded.
+    std::size_t max_queue = 0;
+    /// Maximum requests dispatched as one batch. 0 = drain everything
+    /// queued (latency-oriented streams may prefer a small bound).
+    std::size_t max_batch = 0;
+};
+
+struct SessionStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  ///< futures fulfilled with a result
+    std::uint64_t failed = 0;     ///< futures fulfilled with an exception
+    std::uint64_t batches = 0;    ///< dispatcher wake-ups that served work
+    std::size_t max_batch = 0;    ///< largest batch observed
+    PlanCacheStats plan_cache;    ///< the engine cache serving this session
+};
+
+class SaloSession {
+public:
+    explicit SaloSession(const SaloConfig& config = {}, SessionOptions options = {});
+    ~SaloSession();  // close()
+
+    SaloSession(const SaloSession&) = delete;
+    SaloSession& operator=(const SaloSession&) = delete;
+
+    /// Enqueue a request; the future resolves when it has been executed
+    /// (or failed — errors propagate through the future). Thread-safe;
+    /// blocks while the queue is at max_queue. Throws ContractViolation on
+    /// a structurally invalid request and std::runtime_error after close().
+    std::future<LayerResult> submit(AttentionRequest request);
+
+    /// submit(make_request(...)) shorthands.
+    std::future<LayerResult> submit(CompiledPlanPtr plan, Tensor3<float> q,
+                                    Tensor3<float> k, Tensor3<float> v, float scale);
+    std::future<LayerResult> submit(const HybridPattern& pattern, Tensor3<float> q,
+                                    Tensor3<float> k, Tensor3<float> v, float scale);
+
+    /// Compile through the session engine's PlanCache (shared artifact).
+    CompiledPlanPtr compile(const HybridPattern& pattern, int head_dim) const;
+
+    /// Block until every submitted request has been served.
+    void drain();
+
+    /// Stop accepting requests, serve what is queued, join the dispatcher.
+    /// Idempotent; the destructor calls it.
+    void close();
+
+    SessionStats stats() const;
+    const SaloEngine& engine() const { return engine_; }
+    const SaloConfig& config() const { return engine_.config(); }
+
+private:
+    struct Pending {
+        AttentionRequest request;
+        std::promise<LayerResult> promise;
+    };
+
+    void serve_loop();
+    /// Serve one batch; returns how many promises got a value vs an error.
+    void serve_batch(std::vector<Pending>& batch, std::uint64_t& ok,
+                     std::uint64_t& err);
+
+    SaloEngine engine_;
+    SessionOptions options_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_work_;   ///< queue became non-empty / closing
+    std::condition_variable cv_space_;  ///< queue dropped below max_queue
+    std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
+    std::deque<Pending> queue_;
+    std::size_t in_flight_ = 0;
+    bool closed_ = false;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t batches_ = 0;
+    std::size_t max_batch_seen_ = 0;
+
+    std::thread dispatcher_;  ///< last member: joined by close()
+};
+
+}  // namespace salo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/hash.hpp"
+
 namespace salo {
 
 HybridPattern::HybridPattern(int n, std::vector<Band> bands, std::vector<int> global_tokens,
@@ -19,6 +21,30 @@ HybridPattern::HybridPattern(int n, std::vector<Band> bands, std::vector<int> gl
     std::sort(globals_.begin(), globals_.end());
     globals_.erase(std::unique(globals_.begin(), globals_.end()), globals_.end());
     for (int g : globals_) SALO_EXPECTS(g >= 0 && g < n_);
+}
+
+bool HybridPattern::operator==(const HybridPattern& other) const {
+    // globals_ is sorted + deduplicated by the constructor, so vector
+    // equality is set equality.
+    return n_ == other.n_ && grid_width_ == other.grid_width_ &&
+           bands_ == other.bands_ && globals_ == other.globals_;
+}
+
+std::uint64_t HybridPattern::fingerprint() const {
+    Fnv1a h;
+    h.mix(std::uint64_t{0x5A10'0001});  // type tag: HybridPattern
+    h.mix(n_);
+    h.mix(grid_width_);
+    h.mix(static_cast<std::uint64_t>(bands_.size()));
+    for (const Band& b : bands_) {
+        h.mix(b.lo);
+        h.mix(b.count);
+        h.mix(b.dilation);
+        h.mix(b.dy);
+    }
+    h.mix(static_cast<std::uint64_t>(globals_.size()));
+    for (int g : globals_) h.mix(g);
+    return h.digest();
 }
 
 bool HybridPattern::is_global(int token) const {

@@ -17,6 +17,7 @@
 // band widths feed the window-splitting step.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct Band {
     int count = 1;     ///< number of offsets in the band
     int dilation = 1;  ///< stride between consecutive offsets
     int dy = 0;        ///< originating y-offset for 2D patterns (grid only)
+
+    /// Structural identity: dilation and dy participate even when they do
+    /// not change the offset set (count == 1), because the scheduler's
+    /// reordering keys off them.
+    friend bool operator==(const Band&, const Band&) = default;
 
     int hi() const { return lo + (count - 1) * dilation; }
 
@@ -52,6 +58,17 @@ public:
     const std::vector<int>& global_tokens() const { return globals_; }
     /// Non-zero for 2D patterns: width W of the row-major patch grid.
     int grid_width() const { return grid_width_; }
+
+    /// Structural equality: same n, band list (order-sensitive — the
+    /// scheduler emits tiles in band order), global set and grid width.
+    /// Distinguishes patterns that differ only in dilation or in the global
+    /// set, which a coverage-based comparison could conflate.
+    bool operator==(const HybridPattern& other) const;
+
+    /// Stable 64-bit content fingerprint of the same fields operator==
+    /// compares. Equal patterns hash equal; used (combined with the
+    /// geometry/options/head-dim hashes) as the PlanCache key.
+    std::uint64_t fingerprint() const;
 
     bool is_global(int token) const;
 

@@ -4,7 +4,10 @@
 // the cycle-accurate simulator and the analytic performance models.
 #pragma once
 
+#include <cstdint>
+
 #include "common/assert.hpp"
+#include "common/hash.hpp"
 
 namespace salo {
 
@@ -35,6 +38,26 @@ struct ArrayGeometry {
         SALO_EXPECTS(query_buffer_bytes > 0 && key_buffer_bytes > 0);
         SALO_EXPECTS(value_buffer_bytes > 0 && output_buffer_bytes > 0);
         SALO_EXPECTS(frequency_ghz > 0.0);
+    }
+
+    friend bool operator==(const ArrayGeometry&, const ArrayGeometry&) = default;
+
+    /// Stable content hash over every field (including frequency_ghz:
+    /// geometries that differ only in clock get distinct plan-cache
+    /// entries, which is harmless and keeps the rule simple).
+    std::uint64_t fingerprint() const {
+        Fnv1a h;
+        h.mix(std::uint64_t{0x5A10'0002});  // type tag: ArrayGeometry
+        h.mix(rows);
+        h.mix(cols);
+        h.mix(num_global_rows);
+        h.mix(num_global_cols);
+        h.mix(query_buffer_bytes);
+        h.mix(key_buffer_bytes);
+        h.mix(value_buffer_bytes);
+        h.mix(output_buffer_bytes);
+        h.mix(frequency_ghz);
+        return h.digest();
     }
 };
 

@@ -41,6 +41,15 @@ enum class PackingMode {
 
 struct ScheduleOptions {
     PackingMode packing = PackingMode::kPacked;
+
+    friend bool operator==(const ScheduleOptions&, const ScheduleOptions&) = default;
+
+    std::uint64_t fingerprint() const {
+        Fnv1a h;
+        h.mix(std::uint64_t{0x5A10'0003});  // type tag: ScheduleOptions
+        h.mix(static_cast<int>(packing));
+        return h.digest();
+    }
 };
 
 struct ScheduleStats {

@@ -15,8 +15,10 @@ MultiHeadAttention::MultiHeadAttention(int hidden, int num_heads, HybridPattern 
     SALO_EXPECTS(hidden % num_heads == 0);
 }
 
-Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, const SaloEngine& engine,
-                                          SimStats* stats) const {
+template <typename RunLayer>
+Matrix<float> MultiHeadAttention::forward_impl(const Matrix<float>& x,
+                                               RunLayer&& run_layer,
+                                               SimStats* stats) const {
     SALO_EXPECTS(x.rows() == pattern_.n());
     SALO_EXPECTS(x.cols() == hidden_);
     const int n = x.rows();
@@ -37,7 +39,7 @@ Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, const SaloEngi
             }
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
-    const LayerResult result = engine.run(pattern_, qh, kh, vh, scale);
+    const LayerResult result = run_layer(std::move(qh), std::move(kh), std::move(vh), scale);
     if (stats != nullptr) *stats += result.stats;
 
     // Gather heads and apply the output projection.
@@ -48,6 +50,32 @@ Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, const SaloEngi
     return out_proj_.forward(gathered);
 }
 
+Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, const SaloEngine& engine,
+                                          SimStats* stats) const {
+    // One CompiledPlan serves every layer of the stack: the engine's
+    // PlanCache returns the shared artifact on all but the first call.
+    const CompiledPlanPtr plan = engine.compile(pattern_, head_dim());
+    return forward_impl(
+        x,
+        [&](Tensor3<float> qh, Tensor3<float> kh, Tensor3<float> vh, float scale) {
+            return engine.run(*plan, qh, kh, vh, scale);
+        },
+        stats);
+}
+
+Matrix<float> MultiHeadAttention::forward(const Matrix<float>& x, SaloSession& session,
+                                          SimStats* stats) const {
+    const CompiledPlanPtr plan = session.compile(pattern_, head_dim());
+    return forward_impl(
+        x,
+        [&](Tensor3<float> qh, Tensor3<float> kh, Tensor3<float> vh, float scale) {
+            return session
+                .submit(plan, std::move(qh), std::move(kh), std::move(vh), scale)
+                .get();
+        },
+        stats);
+}
+
 EncoderBlock::EncoderBlock(int hidden, int num_heads, int intermediate,
                            HybridPattern pattern, Rng& rng)
     : attention_(hidden, num_heads, std::move(pattern), rng), norm1_(hidden),
@@ -56,6 +84,14 @@ EncoderBlock::EncoderBlock(int hidden, int num_heads, int intermediate,
 Matrix<float> EncoderBlock::forward(const Matrix<float>& x, const SaloEngine& engine,
                                     SimStats* stats) const {
     const Matrix<float> attended = attention_.forward(x, engine, stats);
+    const Matrix<float> h = norm1_.forward(add(x, attended));
+    const Matrix<float> ff = ffn_.forward(h);
+    return norm2_.forward(add(h, ff));
+}
+
+Matrix<float> EncoderBlock::forward(const Matrix<float>& x, SaloSession& session,
+                                    SimStats* stats) const {
+    const Matrix<float> attended = attention_.forward(x, session, stats);
     const Matrix<float> h = norm1_.forward(add(x, attended));
     const Matrix<float> ff = ffn_.forward(h);
     return norm2_.forward(add(h, ff));
@@ -73,6 +109,13 @@ Matrix<float> Encoder::forward(const Matrix<float>& x, const SaloEngine& engine,
                                SimStats* stats) const {
     Matrix<float> h = x;
     for (const EncoderBlock& block : blocks_) h = block.forward(h, engine, stats);
+    return h;
+}
+
+Matrix<float> Encoder::forward(const Matrix<float>& x, SaloSession& session,
+                               SimStats* stats) const {
+    Matrix<float> h = x;
+    for (const EncoderBlock& block : blocks_) h = block.forward(h, session, stats);
     return h;
 }
 

@@ -8,11 +8,19 @@
 // simulated accelerator (or the float golden model, selected by the
 // engine's fidelity), and applies the output projection to the gathered
 // head outputs — exactly the integration story of paper §3.
+//
+// Compiled-plan integration: the attention pattern is compiled once per
+// engine through the engine's PlanCache, so every layer of an encoder stack
+// (same pattern, same head_dim) shares one CompiledPlan and the scheduler
+// runs once for the whole stack. Every forward() also has a SaloSession
+// overload that routes the layer through the serving queue instead of
+// calling the engine synchronously.
 #pragma once
 
 #include <memory>
 
 #include "core/engine.hpp"
+#include "core/session.hpp"
 #include "transformer/layers.hpp"
 
 namespace salo {
@@ -27,12 +35,25 @@ public:
     int head_dim() const { return hidden_ / num_heads_; }
     const HybridPattern& pattern() const { return pattern_; }
 
-    /// x: n x hidden -> n x hidden. Attention runs on `engine`; the
-    /// returned stats describe the accelerator work of this call.
+    /// x: n x hidden -> n x hidden. Attention runs on `engine` via a
+    /// compiled plan from the engine's PlanCache; the returned stats
+    /// describe the accelerator work of this call.
     Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
                           SimStats* stats = nullptr) const;
 
+    /// Serving variant: the attention layer is submitted to `session` as an
+    /// AttentionRequest (sharing the queue with any concurrent traffic) and
+    /// awaited. Bit-identical to the engine overload.
+    Matrix<float> forward(const Matrix<float>& x, SaloSession& session,
+                          SimStats* stats = nullptr) const;
+
 private:
+    /// Split x's projections into per-head tensors, run `run_layer` on
+    /// them, gather heads and apply the output projection.
+    template <typename RunLayer>
+    Matrix<float> forward_impl(const Matrix<float>& x, RunLayer&& run_layer,
+                               SimStats* stats) const;
+
     int hidden_;
     int num_heads_;
     HybridPattern pattern_;
@@ -48,6 +69,8 @@ public:
                  Rng& rng);
 
     Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
+                          SimStats* stats = nullptr) const;
+    Matrix<float> forward(const Matrix<float>& x, SaloSession& session,
                           SimStats* stats = nullptr) const;
 
     const MultiHeadAttention& attention() const { return attention_; }
@@ -69,6 +92,8 @@ public:
     int num_layers() const { return static_cast<int>(blocks_.size()); }
 
     Matrix<float> forward(const Matrix<float>& x, const SaloEngine& engine,
+                          SimStats* stats = nullptr) const;
+    Matrix<float> forward(const Matrix<float>& x, SaloSession& session,
                           SimStats* stats = nullptr) const;
 
 private:

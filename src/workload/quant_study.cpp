@@ -56,6 +56,9 @@ QuantStudyResult run_quant_study(const QuantStudyConfig& study, const SaloConfig
     SaloConfig quant_config = config;
     quant_config.fidelity = Fidelity::kFunctional;
     const SaloEngine engine(quant_config);
+    // Compile once; every sample below reuses the schedule instead of
+    // re-running the scheduler per run_head call.
+    const CompiledPlanPtr plan = engine.compile(pattern, study.head_dim);
     const float scale = 1.0f / std::sqrt(static_cast<float>(study.head_dim));
 
     int correct_original = 0;
@@ -82,7 +85,7 @@ QuantStudyResult run_quant_study(const QuantStudyConfig& study, const SaloConfig
         const Matrix<float> original =
             SaloEngine::golden(pattern, tokens, tokens, tokens, scale);
         const Matrix<float> quantized =
-            engine.run_head(pattern, tokens, tokens, tokens, scale).output;
+            engine.run_head(*plan, tokens, tokens, tokens, scale).output;
 
         if (classify(original, prototypes) == label) ++correct_original;
         if (classify(quantized, prototypes) == label) ++correct_quantized;

@@ -62,6 +62,11 @@ AttentionWorkload longformer_small(int n, int w, int heads, int head_dim, int nu
     };
 }
 
+CompiledPlanPtr compile_workload(const AttentionWorkload& workload,
+                                 const SaloConfig& config) {
+    return compile_shared(workload.pattern, workload.head_dim, config);
+}
+
 QkvSet make_qkv(const AttentionWorkload& workload, std::uint64_t seed, double stddev) {
     Rng rng(seed);
     QkvSet set;

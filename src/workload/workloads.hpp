@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled_plan.hpp"
 #include "pattern/pattern.hpp"
 #include "tensor/tensor3.hpp"
 
@@ -52,5 +53,11 @@ struct QkvSet {
 };
 QkvSet make_qkv(const AttentionWorkload& workload, std::uint64_t seed,
                 double stddev = 0.5);
+
+/// Compile a workload's pattern for its head dimension under `config` —
+/// the shareable artifact the serving API (SaloSession / bench_serving)
+/// submits requests against.
+CompiledPlanPtr compile_workload(const AttentionWorkload& workload,
+                                 const SaloConfig& config);
 
 }  // namespace salo
