@@ -1,0 +1,121 @@
+// FaultInjector: deterministic execution-fault and stall injection for
+// robustness tests and overload experiments.
+//
+// The engine consults an installed injector at every tile boundary (the
+// same boundaries where cancellation and deadlines are checked), passing
+// the tile's schedule-order index. The injector then either
+//
+//   * throws EngineFault           (fault_tiles / seeded tile_fault_rate),
+//   * sleeps for stall_for         (stall_tiles), or
+//   * just counts the visit        (probe mode: all triggers empty).
+//
+// Determinism: triggers depend only on the configured tile lists or on
+// hash(seed, tile_index) — never on wall clock, lane ids, or scheduling
+// order — so a given (seed, plan) faults the same tiles on every run and
+// every thread count. Stalls change timing only, never results.
+//
+// Installation points (both optional, request wins):
+//   * SaloConfig::fault_injector          — every run through the engine;
+//   * AttentionRequest::fault_injector    — one specific request, which is
+//     how tests prove a faulted lane fails exactly one future while the
+//     rest of the batch completes.
+//
+// Probe mode doubles as a reached-the-engine detector: an injector with no
+// triggers counts tiles_seen(), so a test can assert a shed request never
+// executed (tiles_seen() == 0).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/errors.hpp"
+
+namespace salo {
+
+class FaultInjector {
+public:
+    struct Config {
+        /// Seed for the probabilistic trigger; also recorded by benches.
+        std::uint64_t seed = 0;
+        /// Probability that any given tile index faults, decided by
+        /// hash(seed, tile) — deterministic per (seed, tile). 0 disables.
+        double tile_fault_rate = 0.0;
+        /// Explicit schedule-order tile indices that throw EngineFault.
+        std::vector<int> fault_tiles;
+        /// Explicit schedule-order tile indices that sleep for stall_for.
+        std::vector<int> stall_tiles;
+        std::chrono::microseconds stall_for{0};
+        /// Stop injecting after this many faults (< 0 = unlimited), so a
+        /// test can fault one request and leave the session serviceable.
+        int max_faults = -1;
+    };
+
+    FaultInjector() = default;
+    explicit FaultInjector(Config config) : config_(std::move(config)) {}
+
+    /// Consulted by the engine before executing tile `tile` (schedule
+    /// order, per head). May throw EngineFault or sleep; always counts.
+    void on_tile(int tile) const {
+        tiles_seen_.fetch_add(1, std::memory_order_relaxed);
+        if (should_stall(tile)) {
+            stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(config_.stall_for);
+        }
+        if (!should_fault(tile)) return;
+        if (config_.max_faults >= 0) {
+            // fetch_add under the cap: concurrent lanes may race past the
+            // cap by one, which is fine for tests (cap 0 still disables).
+            if (faults_injected_.load(std::memory_order_relaxed) >=
+                static_cast<std::uint64_t>(config_.max_faults))
+                return;
+        }
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        throw EngineFault("FaultInjector: injected fault at tile " +
+                          std::to_string(tile) + " (seed " +
+                          std::to_string(config_.seed) + ")");
+    }
+
+    const Config& config() const { return config_; }
+    std::uint64_t tiles_seen() const { return tiles_seen_.load(); }
+    std::uint64_t faults_injected() const { return faults_injected_.load(); }
+    std::uint64_t stalls_injected() const { return stalls_injected_.load(); }
+
+    /// The deterministic probabilistic trigger, exposed for tests: true iff
+    /// hash(seed, tile) falls under tile_fault_rate.
+    bool seeded_fault(int tile) const {
+        if (config_.tile_fault_rate <= 0.0) return false;
+        Fnv1a h;
+        h.mix(config_.seed);
+        h.mix(tile);
+        const double u = static_cast<double>(h.digest() >> 11) *
+                         (1.0 / static_cast<double>(1ULL << 53));
+        return u < config_.tile_fault_rate;
+    }
+
+private:
+    bool listed(const std::vector<int>& tiles, int tile) const {
+        for (int t : tiles)
+            if (t == tile) return true;
+        return false;
+    }
+
+    bool should_fault(int tile) const {
+        return listed(config_.fault_tiles, tile) || seeded_fault(tile);
+    }
+
+    bool should_stall(int tile) const {
+        return config_.stall_for.count() > 0 && listed(config_.stall_tiles, tile);
+    }
+
+    Config config_;
+    mutable std::atomic<std::uint64_t> tiles_seen_{0};
+    mutable std::atomic<std::uint64_t> faults_injected_{0};
+    mutable std::atomic<std::uint64_t> stalls_injected_{0};
+};
+
+}  // namespace salo

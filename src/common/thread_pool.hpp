@@ -57,9 +57,15 @@ public:
     /// Run fn(index, lane) for every index in [0, count); blocks until all
     /// complete. Indices are claimed dynamically in chunks of `chunk`
     /// consecutive indices per ticket (larger chunks cut contention on the
-    /// counter when items are tiny); the caller participates as lane 0. The
-    /// first exception thrown by a task is rethrown here (the remaining
-    /// indices are abandoned).
+    /// counter when items are tiny); the caller participates as lane 0.
+    ///
+    /// Fault isolation: a throwing task never abandons its siblings — every
+    /// index still runs, and the first exception is rethrown here after the
+    /// region completes. This is what lets one faulted request in a served
+    /// batch fail alone while the rest of the batch finishes, and it is
+    /// safe for cancellation too: cancelled tasks check their token first
+    /// and throw immediately, so "run everything" costs one cheap check per
+    /// remaining index, not real work.
     ///
     /// Safe for concurrent callers: regions from different threads are
     /// serialized on an internal mutex (SaloEngine is shared-const and its
@@ -69,7 +75,17 @@ public:
                       int chunk = 1) {
         if (count <= 0) return;
         if (workers_.empty() || count == 1) {
-            for (int i = 0; i < count; ++i) fn(i, 0);
+            // Inline path: same per-index fault isolation as the threaded
+            // path — every index runs, first exception rethrown after.
+            std::exception_ptr first;
+            for (int i = 0; i < count; ++i) {
+                try {
+                    fn(i, 0);
+                } catch (...) {
+                    if (!first) first = std::current_exception();
+                }
+            }
+            if (first) std::rethrow_exception(first);
             return;
         }
         const std::lock_guard<std::mutex> region(submit_m_);
@@ -106,10 +122,10 @@ private:
                 try {
                     (*job)(i, lane);
                 } catch (...) {
+                    // Isolate the fault to this index: record the first
+                    // exception for the caller, keep running siblings.
                     std::lock_guard<std::mutex> lock(m_);
                     if (!error_) error_ = std::current_exception();
-                    next_.store(count_, std::memory_order_relaxed);  // abandon the rest
-                    return;
                 }
             }
         }

@@ -1,0 +1,24 @@
+#include "core/admission.hpp"
+
+namespace salo {
+
+AdmissionDecision AdmissionController::decide(const AdmissionSnapshot& s,
+                                              Priority priority,
+                                              std::uint64_t cost) const {
+    bool over = false;
+    if (policy_.max_queue > 0 && s.queued_total() >= policy_.max_queue) over = true;
+    if (priority == Priority::batch && policy_.max_queue_batch > 0 &&
+        s.queued_batch >= policy_.max_queue_batch)
+        over = true;
+    // The cost gate admits a request that is alone in the system even if it
+    // exceeds the threshold by itself — otherwise an oversized request
+    // could never be served at all.
+    if (policy_.max_outstanding_cost > 0 && s.outstanding_cost > 0 &&
+        s.outstanding_cost + cost > policy_.max_outstanding_cost)
+        over = true;
+    if (!over) return AdmissionDecision::admit;
+    return policy_.mode == AdmissionMode::reject_fast ? AdmissionDecision::reject
+                                                      : AdmissionDecision::wait;
+}
+
+}  // namespace salo

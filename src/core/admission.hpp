@@ -1,0 +1,94 @@
+// Admission control for the serving front door.
+//
+// Under overload, an unbounded queue turns a 10x burst into unbounded p99:
+// every admitted request waits behind the whole backlog. The fix is to
+// bound what gets in — reject (or briefly block) excess work at submit()
+// so the queue depth, and therefore the worst admitted wait, stays capped.
+// Rejected requests fail fast with the typed QueueFull error; clients see
+// an explicit shed signal instead of a silently growing latency.
+//
+// The policy is a value object evaluated under the session lock:
+//
+//   * max_queue            total queued requests (both classes);
+//   * max_queue_batch      queued batch-class requests (a tighter cap, so
+//                          background traffic cannot starve interactive);
+//   * max_outstanding_cost queued + in-flight work, in cost units
+//                          (heads x rows — a proxy for execution time), so
+//                          a few huge requests count like many small ones;
+//   * mode                 what to do when a limit is hit: reject_fast,
+//                          block (wait for space, the legacy behavior), or
+//                          block_with_timeout (wait at most block_timeout,
+//                          then reject).
+//
+// The controller itself is stateless and lock-free; the session owns the
+// counters and passes a snapshot. decide() is a pure function of
+// (snapshot, priority, cost), which makes policies unit-testable without a
+// running session.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace salo {
+
+/// Request priority class. Interactive requests are dispatched first and
+/// get the full queue budget; batch requests can be capped tighter and are
+/// the first to be shed under overload.
+enum class Priority { interactive, batch };
+
+inline const char* priority_name(Priority p) {
+    return p == Priority::interactive ? "interactive" : "batch";
+}
+
+enum class AdmissionMode {
+    block,               ///< wait for space indefinitely (legacy submit())
+    block_with_timeout,  ///< wait at most block_timeout, then reject
+    reject_fast,         ///< never wait: reject the moment a limit is hit
+};
+
+struct AdmissionPolicy {
+    AdmissionMode mode = AdmissionMode::block;
+    std::chrono::milliseconds block_timeout{50};
+    std::size_t max_queue = 0;            ///< 0 = unbounded
+    std::size_t max_queue_batch = 0;      ///< 0 = no extra batch-class cap
+    std::uint64_t max_outstanding_cost = 0;  ///< 0 = unbounded
+};
+
+/// What the session's counters look like at the moment of a decision.
+struct AdmissionSnapshot {
+    std::size_t queued_interactive = 0;
+    std::size_t queued_batch = 0;
+    std::uint64_t outstanding_cost = 0;  ///< queued + in-flight cost units
+
+    std::size_t queued_total() const { return queued_interactive + queued_batch; }
+};
+
+enum class AdmissionDecision {
+    admit,   ///< enqueue now
+    wait,    ///< a limit is hit and the mode says to wait for space
+    reject,  ///< a limit is hit and the mode says to shed (QueueFull)
+};
+
+class AdmissionController {
+public:
+    AdmissionController() = default;
+    explicit AdmissionController(AdmissionPolicy policy) : policy_(policy) {}
+
+    const AdmissionPolicy& policy() const { return policy_; }
+
+    /// Pure decision for one request of `priority` and `cost` units given
+    /// the current load. Never blocks; the caller implements wait.
+    AdmissionDecision decide(const AdmissionSnapshot& s, Priority priority,
+                             std::uint64_t cost) const;
+
+    /// True if the policy can ever defer or shed (i.e. any limit is set).
+    bool bounded() const {
+        return policy_.max_queue > 0 || policy_.max_queue_batch > 0 ||
+               policy_.max_outstanding_cost > 0;
+    }
+
+private:
+    AdmissionPolicy policy_;
+};
+
+}  // namespace salo

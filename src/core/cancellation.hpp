@@ -1,0 +1,56 @@
+// CancellationToken: a shareable, thread-safe cancel flag for in-flight
+// requests.
+//
+// A token is a handle to one shared atomic flag. Copies share the flag, so
+// the submitter keeps one copy, attaches another to the AttentionRequest,
+// and may fire request_cancel() from any thread at any time:
+//
+//   CancellationToken token = CancellationToken::make();
+//   request.cancel = token;          // session + engine observe it
+//   ...
+//   token.request_cancel();          // future fails with RequestCancelled
+//
+// A default-constructed token is *inert*: it has no flag, can never be
+// cancelled, and costs nothing to check — requests that never cancel pay
+// no atomic traffic. The engine polls cancelled() at tile boundaries, so
+// cancelling an executing request stops its remaining tiles early; the
+// request's future then fails with RequestCancelled. Requests that finish
+// before the token fires are untouched — completed results stay
+// bit-identical to their standalone runs.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace salo {
+
+class CancellationToken {
+public:
+    /// Inert token: never cancellable, cancelled() is always false.
+    CancellationToken() = default;
+
+    /// A live token with a fresh shared flag.
+    static CancellationToken make() {
+        CancellationToken t;
+        t.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return t;
+    }
+
+    /// Fire the flag; every copy of this token observes it. No-op on an
+    /// inert token. Idempotent and thread-safe.
+    void request_cancel() const noexcept {
+        if (flag_) flag_->store(true, std::memory_order_release);
+    }
+
+    bool cancelled() const noexcept {
+        return flag_ && flag_->load(std::memory_order_acquire);
+    }
+
+    /// True for tokens created by make() (a cancel can actually arrive).
+    bool cancellable() const noexcept { return flag_ != nullptr; }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace salo

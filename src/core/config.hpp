@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 
 #include "numeric/pwl_exp.hpp"
@@ -15,6 +16,8 @@
 #include "sim/cycle_formulas.hpp"
 
 namespace salo {
+
+class FaultInjector;  // common/fault_injector.hpp (test/robustness hook)
 
 enum class Fidelity {
     kGolden,
@@ -64,6 +67,12 @@ struct SaloConfig {
     /// Capacity of the engine's internal CompiledPlan LRU cache (distinct
     /// pattern/geometry/head-dim combinations kept hot). Must be >= 1.
     int plan_cache_capacity = 64;
+
+    /// Deterministic fault/stall injection consulted at every tile boundary
+    /// of every run through this engine (see common/fault_injector.hpp).
+    /// Null (the default) costs nothing; a per-request injector on an
+    /// AttentionRequest overrides this one for that request.
+    std::shared_ptr<const FaultInjector> fault_injector;
 
     /// Reject nonsensical values (zero geometry, non-positive bandwidth,
     /// NaN frequency, ...) with a ContractViolation naming the offending

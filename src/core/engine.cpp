@@ -115,7 +115,7 @@ HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
                                      const Matrix<float>& q, const Matrix<float>& k,
                                      const Matrix<float>& v, float scale,
                                      Fidelity fidelity, int threads,
-                                     ParallelWorkspace* ws) const {
+                                     ParallelWorkspace* ws, const RunControl* ctl) const {
     const int n = q.rows();
     const int d = q.cols();
     SALO_EXPECTS(n == pattern.n());
@@ -123,6 +123,8 @@ HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
     SALO_EXPECTS(plan.n == n && plan.head_dim == d);
 
     if (fidelity == Fidelity::kGolden) {
+        // No tile loop here: the head boundary (-1) is the only checkpoint.
+        if (ctl != nullptr) ctl->check(-1);
         HeadResult result;
         result.output = golden(pattern, q, k, v, scale);
         return result;
@@ -140,19 +142,21 @@ HeadResult SaloEngine::run_head_impl(const SchedulePlan& plan,
     // the flag beats silently benchmarking the optimized path as "seed".
     const bool parallel_ok = !config_.reference_datapath;
     if (parallel_ok && threads > 1 && static_cast<int>(plan.tiles.size()) > 1) {
-        if (ws != nullptr) return run_head_parallel(plan, fidelity, qq, kq, vq, *ws);
+        if (ws != nullptr) return run_head_parallel(plan, fidelity, qq, kq, vq, *ws, ctl);
         ParallelWorkspace scratch_ws;
-        return run_head_parallel(plan, fidelity, qq, kq, vq, scratch_ws);
+        return run_head_parallel(plan, fidelity, qq, kq, vq, scratch_ws, ctl);
     }
-    return run_head_sequential(plan, fidelity, qq, kq, vq);
+    return run_head_sequential(plan, fidelity, qq, kq, vq, ctl);
 }
 
 HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fidelity,
                                            const Matrix<std::int8_t>& qq,
                                            const Matrix<std::int8_t>& kq,
-                                           const Matrix<std::int8_t>& vq) const {
+                                           const Matrix<std::int8_t>& vq,
+                                           const RunControl* ctl) const {
     const int n = qq.rows();
     const int d = qq.cols();
+    const int num_tiles = static_cast<int>(plan.tiles.size());
     HeadResult result;
     WeightedSumModule wsm(n, d, recip_unit_);
     const CycleConfig ccfg = config_.cycle_config();
@@ -162,7 +166,9 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
         const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
         if (config_.reference_datapath) {
             std::vector<TilePart> parts;
-            for (const TileTask& tile : plan.tiles) {
+            for (int t = 0; t < num_tiles; ++t) {
+                if (ctl != nullptr) ctl->check(t);
+                const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
                 parts.clear();
                 exec.run(tile, parts, result.stats.activity);
                 for (const TilePart& p : parts) wsm.merge(p);
@@ -174,7 +180,9 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
         } else {
             PartArena arena;
             PartScratch scratch;
-            for (const TileTask& tile : plan.tiles) {
+            for (int t = 0; t < num_tiles; ++t) {
+                if (ctl != nullptr) ctl->check(t);
+                const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
                 arena.reset();
                 exec.run(tile, arena, result.stats.activity, scratch);
                 for (std::size_t i = 0; i < arena.used(); ++i) wsm.merge(arena.at(i));
@@ -188,7 +196,9 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
         const CycleAccurateArray array(config_.geometry, ccfg, exp_unit_, recip_unit_, qq,
                                        kq, vq);
         std::vector<TilePart> parts;
-        for (const TileTask& tile : plan.tiles) {
+        for (int t = 0; t < num_tiles; ++t) {
+            if (ctl != nullptr) ctl->check(t);
+            const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
             parts.clear();
             const CycleBreakdown b = array.run(tile, parts, result.stats.activity);
             for (const TilePart& p : parts) wsm.merge(p);
@@ -219,7 +229,8 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
                                          const Matrix<std::int8_t>& qq,
                                          const Matrix<std::int8_t>& kq,
                                          const Matrix<std::int8_t>& vq,
-                                         ParallelWorkspace& ws) const {
+                                         ParallelWorkspace& ws,
+                                         const RunControl* ctl) const {
     const int n = qq.rows();
     const int d = qq.cols();
     const int num_tiles = static_cast<int>(plan.tiles.size());
@@ -269,6 +280,12 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
         workers.parallel_for(
             num_tiles,
             [&](int t, int lane) {
+                // Tile boundary: cancellation/deadline/fault checks. A
+                // throw fails only this run — sibling tiles of the same
+                // region still execute (pool fault isolation), and the
+                // first error is rethrown to this run's caller after the
+                // region completes.
+                if (ctl != nullptr) ctl->check(t);
                 PartArena& arena = arenas[static_cast<std::size_t>(lane)];
                 const auto first = static_cast<std::uint32_t>(arena.used());
                 exec.run(plan.tiles[static_cast<std::size_t>(t)], arena,
@@ -308,6 +325,7 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
         std::vector<CycleBreakdown>& breakdowns = ws.breakdowns;
 
         workers.parallel_for(num_tiles, [&](int t, int lane) {
+            if (ctl != nullptr) ctl->check(t);
             std::vector<TilePart>& parts = tile_parts[static_cast<std::size_t>(t)];
             breakdowns[static_cast<std::size_t>(t)] =
                 array.run(plan.tiles[static_cast<std::size_t>(t)], parts,
@@ -353,24 +371,45 @@ LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
 LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
                             const Tensor3<float>& k, const Tensor3<float>& v, float scale,
                             Fidelity fidelity, int thread_budget) const {
+    RunOptions options;
+    options.fidelity = fidelity;
+    options.thread_budget = thread_budget;
+    return run(plan, q, k, v, scale, options);
+}
+
+LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
+                            const Tensor3<float>& k, const Tensor3<float>& v, float scale,
+                            const RunOptions& options) const {
     check_compatible(plan);
     SALO_EXPECTS(q.count() == k.count() && k.count() == v.count());
     SALO_EXPECTS(q.count() >= 1);
+    const Fidelity fidelity = options.fidelity.value_or(config_.fidelity);
     const SchedulePlan& p = plan.plan();
     const HybridPattern& pattern = plan.pattern();
     LayerResult result;
     result.output = Tensor3<float>(q.count(), q.rows(), q.cols());
     result.schedule = p.stats;
 
+    // Resolve the robustness hooks once; a null control keeps the tile
+    // loops free of clock reads and atomic loads (the common case).
+    RunControl ctl_storage;
+    ctl_storage.cancel = options.cancel.cancellable() ? &options.cancel : nullptr;
+    ctl_storage.has_deadline = options.deadline.has_value();
+    if (options.deadline) ctl_storage.deadline = *options.deadline;
+    ctl_storage.fault = options.fault_injector != nullptr ? options.fault_injector
+                                                          : config_.fault_injector.get();
+    const RunControl* ctl = ctl_storage.active() ? &ctl_storage : nullptr;
+
     const int heads = q.count();
     const int threads =
-        thread_budget <= 0 ? config_.effective_threads() : thread_budget;
+        options.thread_budget <= 0 ? config_.effective_threads() : options.thread_budget;
     std::vector<HeadResult> head_results(static_cast<std::size_t>(heads));
 
     if (threads == 1) {
         for (int h = 0; h < heads; ++h)
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1, nullptr,
+                              ctl);
     } else if (!config_.reference_datapath && fidelity != Fidelity::kGolden &&
                (static_cast<int>(p.tiles.size()) >= 2 * threads || heads == 1)) {
         // (Golden fidelity has no tiles to parallelize — it goes through the
@@ -381,7 +420,8 @@ LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
         ParallelWorkspace ws;
         for (int h = 0; h < heads; ++h)
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, threads, &ws);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, threads, &ws,
+                              ctl);
     } else {
         // Small plans — and the reference datapath, which exists only in
         // the sequential tile loop but still parallelizes across heads,
@@ -390,7 +430,8 @@ LayerResult SaloEngine::run(const CompiledPlan& plan, const Tensor3<float>& q,
         // runs the sequential path (the two levels never nest).
         pool().parallel_for(heads, [&](int h, int) {
             head_results[static_cast<std::size_t>(h)] =
-                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1);
+                run_head_impl(p, pattern, q[h], k[h], v[h], scale, fidelity, 1, nullptr,
+                              ctl);
         });
     }
 

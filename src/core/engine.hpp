@@ -31,11 +31,16 @@
 // in schedule order per query shard, and all datapath arithmetic is integer.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 
+#include "common/fault_injector.hpp"
 #include "common/thread_pool.hpp"
+#include "core/cancellation.hpp"
 #include "core/config.hpp"
+#include "core/errors.hpp"
 #include "core/plan_cache.hpp"
 #include "numeric/pwl_exp.hpp"
 #include "numeric/reciprocal.hpp"
@@ -57,6 +62,26 @@ struct LayerResult {
     Tensor3<float> output;  ///< per-head n x d attention outputs
     SimStats stats;         ///< summed over heads
     ScheduleStats schedule; ///< the (head-independent) schedule statistics
+};
+
+/// Per-run robustness controls (all optional; the zero-value runs exactly
+/// like the plain overloads). Checked at tile boundaries, so an in-flight
+/// run stops early on cancellation or deadline expiry by throwing the
+/// typed error — results that do complete are untouched and keep the
+/// bit-identity guarantee.
+struct RunOptions {
+    /// Execution fidelity; defaults to the engine's configured fidelity.
+    std::optional<Fidelity> fidelity;
+    /// See run(plan, q, k, v, scale, fidelity, thread_budget): <= 0 means
+    /// the configured thread count, 1 forces the sequential path.
+    int thread_budget = 0;
+    /// Checked at every tile boundary; fires RequestCancelled.
+    CancellationToken cancel;
+    /// Absolute deadline; past-due tile boundaries fire DeadlineExceeded.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Fault/stall injection hook (tests, overload experiments). Not
+    /// owned; must outlive the run. Overrides SaloConfig::fault_injector.
+    const FaultInjector* fault_injector = nullptr;
 };
 
 class SaloEngine {
@@ -100,6 +125,14 @@ public:
                     const Tensor3<float>& k, const Tensor3<float>& v, float scale,
                     Fidelity fidelity, int thread_budget) const;
 
+    /// Full-control overload: fidelity/thread budget plus the robustness
+    /// hooks (cancellation, deadline, fault injection) checked at tile
+    /// boundaries. Throws RequestCancelled / DeadlineExceeded / EngineFault
+    /// from the calling thread when a hook fires mid-run.
+    LayerResult run(const CompiledPlan& plan, const Tensor3<float>& q,
+                    const Tensor3<float>& k, const Tensor3<float>& v, float scale,
+                    const RunOptions& options) const;
+
     /// Cumulative statistics of the internal PlanCache serving compile()
     /// and the legacy shims.
     PlanCacheStats plan_cache_stats() const;
@@ -125,6 +158,29 @@ public:
 private:
     friend class SaloSession;  ///< batches requests onto the engine's pool
 
+    /// Resolved robustness hooks for one run; null pointer = none active,
+    /// which keeps the hot path free of per-tile clock reads and atomics.
+    struct RunControl {
+        const CancellationToken* cancel = nullptr;  ///< non-null iff cancellable
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+        const FaultInjector* fault = nullptr;
+
+        bool active() const { return cancel != nullptr || has_deadline || fault != nullptr; }
+
+        /// Called before executing tile `tile` (schedule order; -1 marks a
+        /// head boundary on paths without a tile loop).
+        void check(int tile) const {
+            if (cancel != nullptr && cancel->cancelled())
+                throw RequestCancelled("request cancelled at tile boundary " +
+                                       std::to_string(tile));
+            if (has_deadline && std::chrono::steady_clock::now() > deadline)
+                throw DeadlineExceeded("deadline exceeded at tile boundary " +
+                                       std::to_string(tile));
+            if (fault != nullptr) fault->on_tile(tile);
+        }
+    };
+
     /// Per-lane buffers of the tile-parallel path, reused across the heads
     /// of one layer so arenas keep their capacity (allocating ~parts-per-
     /// head of fresh vectors per head costs more than the merge itself).
@@ -144,22 +200,26 @@ private:
 
     /// `threads` is the lane budget for THIS head (1 = sequential; callers
     /// running heads in parallel pass 1 so levels never nest). `ws` may be
-    /// null (a scratch workspace is created when needed).
+    /// null (a scratch workspace is created when needed). `ctl` may be null
+    /// (no robustness hooks active).
     HeadResult run_head_impl(const SchedulePlan& plan, const HybridPattern& pattern,
                              const Matrix<float>& q, const Matrix<float>& k,
                              const Matrix<float>& v, float scale, Fidelity fidelity,
-                             int threads, ParallelWorkspace* ws = nullptr) const;
+                             int threads, ParallelWorkspace* ws = nullptr,
+                             const RunControl* ctl = nullptr) const;
 
     HeadResult run_head_sequential(const SchedulePlan& plan, Fidelity fidelity,
                                    const Matrix<std::int8_t>& qq,
                                    const Matrix<std::int8_t>& kq,
-                                   const Matrix<std::int8_t>& vq) const;
+                                   const Matrix<std::int8_t>& vq,
+                                   const RunControl* ctl = nullptr) const;
 
     HeadResult run_head_parallel(const SchedulePlan& plan, Fidelity fidelity,
                                  const Matrix<std::int8_t>& qq,
                                  const Matrix<std::int8_t>& kq,
                                  const Matrix<std::int8_t>& vq,
-                                 ParallelWorkspace& ws) const;
+                                 ParallelWorkspace& ws,
+                                 const RunControl* ctl = nullptr) const;
 
     /// The persistent worker pool (built on first use, sized num_threads).
     ThreadPool& pool() const;

@@ -14,34 +14,50 @@ CompiledPlanPtr PlanCache::get_or_compile(const HybridPattern& pattern, int head
                                           const SaloConfig& config) {
     const std::uint64_t key =
         plan_fingerprint(pattern, head_dim, config.geometry, config.schedule_options);
-    {
-        std::lock_guard<std::mutex> lock(m_);
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
         const auto it = by_key_.find(key);
         if (it != by_key_.end() && matches(**it->second, pattern, head_dim, config)) {
             ++hits_;
             lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
             return *it->second;
         }
-        ++misses_;
+        if (inflight_.count(key) == 0) break;  // become the compiling leader
+        // Another thread is compiling this key right now: wait for it and
+        // adopt its artifact instead of running the scheduler twice. The
+        // re-lookup on wake also handles a failed or colliding compile.
+        cv_compiled_.wait(lock);
     }
 
-    // Compile outside the lock: a miss must not stall concurrent hits.
-    CompiledPlanPtr fresh = compile_shared(pattern, head_dim, config);
+    ++misses_;
+    inflight_.insert(key);
+    lock.unlock();
 
-    std::lock_guard<std::mutex> lock(m_);
+    // Compile outside the lock: a miss must not stall concurrent hits.
+    CompiledPlanPtr fresh;
+    try {
+        fresh = compile_shared(pattern, head_dim, config);
+    } catch (...) {
+        // Unregister and wake waiters so one of them can take over as
+        // leader (or hit a cached colliding entry); the error goes to our
+        // caller untouched.
+        lock.lock();
+        inflight_.erase(key);
+        cv_compiled_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    inflight_.erase(key);
     const auto it = by_key_.find(key);
     if (it != by_key_.end()) {
-        if (matches(**it->second, pattern, head_dim, config)) {
-            // Another thread compiled the same key while we did: adopt the
-            // canonical copy so all callers share one artifact.
-            lru_.splice(lru_.begin(), lru_, it->second);
-            return *it->second;
-        }
-        // True fingerprint collision: replace the stale entry.
+        // A colliding entry with this fingerprint exists (matches() said no
+        // on the way in — a true 64-bit collision): replace it.
         lru_.erase(it->second);
         by_key_.erase(it);
     }
     insert_locked(fresh);
+    cv_compiled_.notify_all();
     return fresh;
 }
 

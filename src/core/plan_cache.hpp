@@ -4,9 +4,12 @@
 //
 // Concurrency: lookups and insertions take one mutex; the expensive
 // compile of a miss runs *outside* the lock, so a slow compilation never
-// blocks other threads' hits. Two threads missing on the same key may both
-// compile; the first insertion wins and the loser adopts it, so every
-// caller of one key observes the same shared artifact.
+// blocks other threads' hits. Concurrent misses on one key are
+// deduplicated: the first thread registers the key as in flight and
+// compiles (one miss); later arrivals wait for the in-flight compile and
+// adopt its artifact (counted as hits — they never run the scheduler). If
+// the leader's compile throws, waiters wake, find no entry, and the next
+// one becomes the new leader, so a failed compile never wedges the key.
 //
 // Collisions: the fingerprint hashes the full scheduling input, but a
 // 64-bit hash can in principle collide. Every hit re-checks structural
@@ -15,10 +18,12 @@
 // serving the wrong schedule.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/compiled_plan.hpp"
 
@@ -62,9 +67,11 @@ private:
     void insert_locked(CompiledPlanPtr plan);
 
     mutable std::mutex m_;
+    std::condition_variable cv_compiled_;  ///< an in-flight compile finished
     std::size_t capacity_;
     LruList lru_;
     std::unordered_map<std::uint64_t, LruList::iterator> by_key_;
+    std::unordered_set<std::uint64_t> inflight_;  ///< keys being compiled now
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;

@@ -11,10 +11,14 @@
 #pragma once
 
 #include "attention/golden.hpp"
+#include "common/fault_injector.hpp"
 #include "common/rng.hpp"
+#include "core/admission.hpp"
+#include "core/cancellation.hpp"
 #include "core/compiled_plan.hpp"
 #include "core/config.hpp"
 #include "core/engine.hpp"
+#include "core/errors.hpp"
 #include "core/plan_cache.hpp"
 #include "core/session.hpp"
 #include "numeric/fixed.hpp"

@@ -3,8 +3,9 @@
 // A session turns the one-shot, synchronous engine into a queue-centric
 // server: callers submit AttentionRequests (a compiled plan or a pattern,
 // plus Q/K/V) and immediately receive a std::future<LayerResult>. A
-// dispatcher thread drains the queue in arrival order and batches all
-// currently-queued requests onto the engine's persistent worker pool:
+// dispatcher thread drains the queues in arrival order (interactive class
+// before batch class) and batches all currently-queued requests onto the
+// engine's persistent worker pool:
 //
 //   * a batch of one (an idle server) executes with the full lane budget —
 //     tile-level parallelism inside the single request;
@@ -17,20 +18,41 @@
 // SaloEngine::run of the same request (the engine guarantee), so a serving
 // deployment can replay any request standalone and get the same bits.
 //
+// Robustness (docs/API.md "Failure semantics"):
+//
+//   * every asynchronous failure is a typed SaloError delivered through
+//     the future; submit() itself throws only SessionClosed (lifecycle)
+//     and ContractViolation (malformed request);
+//   * requests may carry an absolute deadline and a CancellationToken; the
+//     dispatcher sheds already-expired/cancelled requests before batching
+//     (DeadlineExceeded / RequestCancelled, never touching the engine),
+//     and in-flight runs check the token at tile boundaries so cancelled
+//     work stops early — completed requests keep bit-identity;
+//   * admission control (core/admission.hpp) bounds the queue by depth,
+//     batch-class depth and outstanding cost; over-limit submits block,
+//     block-with-timeout, or reject fast with QueueFull per the policy;
+//   * one faulted request (see common/fault_injector.hpp) fails only its
+//     own future — the rest of the batch completes and the session keeps
+//     serving.
+//
 // Plans are resolved through the engine's PlanCache: a request that carries
 // only a pattern compiles it on first sight and hits the cache afterwards —
-// repeated layers never re-run the scheduler.
+// repeated layers never re-run the scheduler, and concurrent first sights
+// of one shape run the scheduler exactly once.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/engine.hpp"
 
 namespace salo {
@@ -49,6 +71,23 @@ struct AttentionRequest {
     /// Per-request fidelity override (e.g. a golden-oracle request on a
     /// functional-fidelity session). Defaults to the engine's fidelity.
     std::optional<Fidelity> fidelity;
+
+    /// Admission class: interactive requests dispatch first and get the
+    /// full queue budget; batch requests shed first under overload.
+    Priority priority = Priority::interactive;
+
+    /// Absolute deadline. Expired requests never reach the engine pool:
+    /// they are shed at dispatch and their future fails with
+    /// DeadlineExceeded; mid-flight expiry stops at the next tile boundary.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /// Shareable cancel flag (CancellationToken::make()); fires
+    /// RequestCancelled. Inert by default.
+    CancellationToken cancel;
+
+    /// Per-request fault injection (tests); overrides the engine-level
+    /// SaloConfig::fault_injector for this request only.
+    std::shared_ptr<const FaultInjector> fault_injector;
 };
 
 /// Convenience builders for the two request flavours.
@@ -58,21 +97,38 @@ AttentionRequest make_request(HybridPattern pattern, Tensor3<float> q, Tensor3<f
                               Tensor3<float> v, float scale);
 
 struct SessionOptions {
-    /// Maximum queued (not yet dispatched) requests; submit() blocks when
-    /// the queue is full. 0 = unbounded.
+    /// Legacy bound: maximum queued (not yet dispatched) requests with the
+    /// block-forever policy. Ignored when `admission.max_queue` is set.
+    /// 0 = unbounded.
     std::size_t max_queue = 0;
     /// Maximum requests dispatched as one batch. 0 = drain everything
     /// queued (latency-oriented streams may prefer a small bound).
     std::size_t max_batch = 0;
+    /// Admission control policy (depth/cost/per-class limits and what to
+    /// do when they are hit). Default: unbounded, block mode — exactly the
+    /// legacy behavior.
+    AdmissionPolicy admission;
 };
 
 struct SessionStats {
-    std::uint64_t submitted = 0;
+    std::uint64_t submitted = 0;  ///< accepted submit() calls (everything below)
     std::uint64_t completed = 0;  ///< futures fulfilled with a result
-    std::uint64_t failed = 0;     ///< futures fulfilled with an exception
+    std::uint64_t failed = 0;     ///< futures failed with EngineFault/ContractViolation
+    std::uint64_t rejected = 0;   ///< futures failed with QueueFull (admission shed)
+    std::uint64_t timed_out = 0;  ///< futures failed with DeadlineExceeded
+    std::uint64_t cancelled = 0;  ///< futures failed with RequestCancelled
+    /// Of timed_out: requests shed while queued, before any execution (the
+    /// remainder expired at a tile boundary mid-flight).
+    std::uint64_t shed_expired = 0;
     std::uint64_t batches = 0;    ///< dispatcher wake-ups that served work
     std::size_t max_batch = 0;    ///< largest batch observed
     PlanCacheStats plan_cache;    ///< the engine cache serving this session
+
+    /// Every accepted submit() resolves exactly one way; this is the
+    /// conservation law tests assert.
+    std::uint64_t accounted() const {
+        return completed + failed + rejected + timed_out + cancelled;
+    }
 };
 
 class SaloSession {
@@ -84,9 +140,11 @@ public:
     SaloSession& operator=(const SaloSession&) = delete;
 
     /// Enqueue a request; the future resolves when it has been executed
-    /// (or failed — errors propagate through the future). Thread-safe;
-    /// blocks while the queue is at max_queue. Throws ContractViolation on
-    /// a structurally invalid request and std::runtime_error after close().
+    /// (or failed — every asynchronous failure is a typed SaloError
+    /// delivered through the future, see core/errors.hpp). Thread-safe.
+    /// Blocking behavior under a full queue follows the admission policy
+    /// (block / block-with-timeout / reject-fast). Throws ContractViolation
+    /// on a structurally invalid request and SessionClosed after close().
     std::future<LayerResult> submit(AttentionRequest request);
 
     /// submit(make_request(...)) shorthands.
@@ -110,30 +168,48 @@ public:
     const SaloConfig& config() const { return engine_.config(); }
 
 private:
+    using Clock = std::chrono::steady_clock;
+
     struct Pending {
         AttentionRequest request;
         std::promise<LayerResult> promise;
+        std::uint64_t cost = 0;  ///< admission cost units (heads x rows)
+    };
+
+    /// Per-batch outcome tallies, merged into the counters by serve_loop.
+    struct BatchTally {
+        std::uint64_t ok = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t timed_out = 0;
     };
 
     void serve_loop();
-    /// Serve one batch; returns how many promises got a value vs an error.
-    void serve_batch(std::vector<Pending>& batch, std::uint64_t& ok,
-                     std::uint64_t& err);
+    void serve_batch(std::vector<Pending>& batch, BatchTally& tally);
+    AdmissionSnapshot snapshot_locked() const;
 
     SaloEngine engine_;
     SessionOptions options_;
+    AdmissionController admission_;
 
     mutable std::mutex m_;
     std::condition_variable cv_work_;   ///< queue became non-empty / closing
-    std::condition_variable cv_space_;  ///< queue dropped below max_queue
+    std::condition_variable cv_space_;  ///< admission state changed
     std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
-    std::deque<Pending> queue_;
+    std::deque<Pending> queue_interactive_;
+    std::deque<Pending> queue_batch_;
+    std::uint64_t queued_cost_ = 0;
+    std::uint64_t in_flight_cost_ = 0;
     std::size_t in_flight_ = 0;
     bool closed_ = false;
 
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t timed_out_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t shed_expired_ = 0;
     std::uint64_t batches_ = 0;
     std::size_t max_batch_seen_ = 0;
 

@@ -4,6 +4,7 @@
 // (hit/miss/eviction, collision safety, cross-thread sharing).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 #include <vector>
@@ -238,7 +239,36 @@ TEST(PlanCacheTest, CrossThreadSharingReturnsOneArtifact) {
     const PlanCacheStats s = cache.stats();
     EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads));
     EXPECT_EQ(s.size, 1u);
-    EXPECT_GE(s.misses, 1u);  // racing threads may all miss, but share after
+    EXPECT_EQ(s.misses, 1u);  // in-flight dedup: racing threads share one compile
+}
+
+TEST(PlanCacheTest, ConcurrentColdCompileRunsSchedulerOnce) {
+    // N threads hit a cold cache with the same fingerprint simultaneously
+    // (spin barrier maximizes the race). In-flight deduplication must elect
+    // exactly one leader: one miss, one scheduler run, N-1 hits that adopt
+    // the leader's artifact — regardless of interleaving.
+    PlanCache cache(8);
+    const SaloConfig config;
+    const HybridPattern p = longformer(256, 16, 2);
+    constexpr int kThreads = 8;
+    std::atomic<int> ready{0};
+    std::vector<CompiledPlanPtr> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {}  // spin barrier
+            got[static_cast<std::size_t>(t)] = cache.get_or_compile(p, 32, config);
+        });
+    for (std::thread& t : threads) t.join();
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(got[static_cast<std::size_t>(t)], nullptr);
+        EXPECT_EQ(got[0], got[static_cast<std::size_t>(t)]);
+    }
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(s.size, 1u);
 }
 
 TEST(PlanCacheTest, PeekDoesNotCountOrReorder) {

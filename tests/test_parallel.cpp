@@ -332,6 +332,31 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
     EXPECT_EQ(count.load(), 50);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotAbandonSiblings) {
+    // Fault isolation: one throwing index must not stop the region — every
+    // other index still runs exactly once, and the first exception is
+    // rethrown to the caller after the region completes. (The old pool
+    // abandoned unclaimed indices on the first throw, which would let one
+    // faulted request in a served batch starve its batch siblings.)
+    for (int lanes : {1, 4}) {
+        ThreadPool pool(lanes);
+        std::vector<std::atomic<int>> hits(97);
+        for (auto& h : hits) h.store(0);
+        bool threw = false;
+        try {
+            pool.parallel_for(97, [&](int i, int) {
+                hits[static_cast<std::size_t>(i)].fetch_add(1);
+                if (i == 13) throw std::runtime_error("injected");
+            });
+        } catch (const std::runtime_error& e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "injected");
+        }
+        EXPECT_TRUE(threw) << "lanes=" << lanes;
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "lanes=" << lanes;
+    }
+}
+
 TEST(ThreadPool, EngineDefaultsToHardwareConcurrency) {
     SaloConfig c;
     EXPECT_EQ(c.num_threads, default_num_threads());

@@ -208,7 +208,7 @@ TEST(Session, StructurallyInvalidSubmitThrowsSynchronously) {
     EXPECT_THROW(session.submit(std::move(empty)), ContractViolation);
 }
 
-TEST(Session, SubmitAfterCloseThrows) {
+TEST(Session, SubmitAfterCloseThrowsSessionClosed) {
     const AttentionWorkload w = longformer_small(64, 8, 1, 16, 1);
     const QkvSet qkv = make_qkv(w, 4);
     SaloSession session(serving_config(1));
@@ -216,6 +216,14 @@ TEST(Session, SubmitAfterCloseThrows) {
     session.close();
     // Queued work was served before the dispatcher exited.
     EXPECT_EQ(pending.get().output.count(), 1);
+    try {
+        session.submit(w.pattern, qkv.q, qkv.k, qkv.v, w.scale());
+        FAIL() << "submit() after close() must throw SessionClosed";
+    } catch (const SessionClosed& e) {
+        // The message must name the session state, not just "error".
+        EXPECT_NE(std::string(e.what()).find("closed"), std::string::npos) << e.what();
+    }
+    // SessionClosed stays catchable as std::runtime_error for legacy callers.
     EXPECT_THROW(session.submit(w.pattern, qkv.q, qkv.k, qkv.v, w.scale()),
                  std::runtime_error);
 }
