@@ -11,7 +11,7 @@
 //   * bit-identity of every served result against the sequential run.
 //
 //   bench_serving [--quick] [--requests N] [--seed S] [--overload]
-//                 [--json <path>]
+//                 [--shards N] [--chaos] [--sweep-shards] [--json <path>]
 //
 // --overload adds the overload experiment (docs/PERFORMANCE.md): the same
 // stream re-fired as a 10x burst — paced arrivals at ten times the measured
@@ -21,6 +21,20 @@
 // *admitted* requests; the acceptance bar is admitted-p99 within 2x the
 // non-overloaded p99. --seed controls the priority/deadline draw and is
 // recorded in the JSON.
+//
+// --shards N serves the same stream through a ShardedSession of N engine
+// shards; --chaos turns the run into the seeded chaos soak (docs/
+// RELIABILITY.md): one seeded shard faults ~5% of its tiles until it
+// "heals" (exercising quarantine, half-open probing, and reintegration),
+// 1 in 10 requests carries a one-shot transient fault (exercising retry
+// and failover), and 1 in 20 wedges briefly at a tile boundary. The exit
+// code enforces the tier invariants: zero lost futures, every completed
+// result bit-identical to the sequential engine, the stats conservation
+// law, at least one retry actually exercised, and completed p99 under 3x
+// the same-shard-count healthy tier's p99.
+//
+// --sweep-shards additionally records a 1/2/4-shard x healthy/chaos sweep
+// (correctness invariants enforced; latencies informational).
 //
 // --json writes the machine-readable snapshot recorded as
 // BENCH_serving.json at the repo root (CMake target bench_serving_json).
@@ -66,6 +80,204 @@ bool identical(const salo::LayerResult& a, const salo::LayerResult& b) {
     return true;
 }
 
+/// One ShardedSession run of the pre-generated stream — healthy or under
+/// the seeded chaos mix — with per-request latency stamps and the tier
+/// invariants evaluated locally.
+struct TierRunResult {
+    int shards = 0;
+    bool chaos = false;
+    double wall_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0, throughput_rps = 0.0;
+    salo::SessionStats stats;
+    int lost = 0;             ///< futures never ready within the await budget
+    bool identical_ok = true; ///< every completed result vs sequential
+    bool conserved = true;    ///< the stats conservation law
+    int bad_shard = -1;
+    std::uint64_t shard_faults = 0, transient_faults = 0, stalls = 0;
+};
+
+TierRunResult run_tier(const salo::SaloConfig& config, int shards, bool chaos,
+                       std::uint64_t seed,
+                       const std::vector<const salo::AttentionWorkload*>& req_shape,
+                       const std::vector<salo::QkvSet>& req_qkv,
+                       const std::vector<salo::LayerResult>& expected) {
+    using namespace salo;
+    const int n = static_cast<int>(req_shape.size());
+    TierRunResult out;
+    out.shards = shards;
+    out.chaos = chaos;
+
+    ShardedSessionOptions options;
+    options.num_shards = shards;
+    options.retry.max_attempts = 4;
+    options.retry.jitter_seed = seed;
+    options.stall_timeout = std::chrono::milliseconds(250);
+    options.health.window = 8;
+    options.health.min_samples = 4;
+    options.health.failure_threshold = 0.5;
+    options.health.cooldown = std::chrono::milliseconds(25);
+    options.health.reintegrate_after = 2;
+
+    // Shard-level chaos: one seeded shard faults ~5% of its tile indices
+    // (deterministic per (seed, tile)) for its first 20 faults, then heals —
+    // long enough to trip the breaker, short enough that half-open probes
+    // find it clean and reintegrate it mid-run.
+    std::shared_ptr<FaultInjector> bad_injector;
+    if (chaos) {
+        Rng pick(seed ^ 0xC4A05EEDull);
+        out.bad_shard = static_cast<int>(pick.uniform_index(
+            static_cast<std::uint64_t>(shards)));
+        FaultInjector::Config fc;
+        fc.seed = seed;
+        fc.tile_fault_rate = 0.05;
+        fc.max_faults = 20;
+        bad_injector = std::make_shared<FaultInjector>(fc);
+        options.shard_fault_injectors.assign(static_cast<std::size_t>(shards), nullptr);
+        options.shard_fault_injectors[static_cast<std::size_t>(out.bad_shard)] =
+            bad_injector;
+    }
+
+    ShardedSession tier(config, options);
+
+    // Request-level chaos, deterministic per seed: 1 in 10 requests faults
+    // its first attempt once (retry/failover path), 1 in 20 wedges 5 ms at
+    // a tile boundary (latency noise under the stall bound).
+    const int fault_phase = static_cast<int>(seed % 10);
+    // +1 keeps the stall phase off the fault phase mod 10, so both kinds of
+    // chaos actually occur.
+    const int stall_phase = static_cast<int>((seed + 1) % 20);
+    std::vector<std::shared_ptr<FaultInjector>> injectors(
+        static_cast<std::size_t>(n));
+    std::vector<std::future<LayerResult>> futures;
+    std::vector<Clock::time_point> submit_at(static_cast<std::size_t>(n));
+    futures.reserve(static_cast<std::size_t>(n));
+    const auto t0 = Clock::now();
+    for (int i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        AttentionRequest r =
+            make_request(req_shape[idx]->pattern, req_qkv[idx].q, req_qkv[idx].k,
+                         req_qkv[idx].v, req_shape[idx]->scale());
+        if (chaos) {
+            FaultInjector::Config fc;
+            if (i % 10 == fault_phase) {
+                fc.fault_tiles = {0};
+                fc.max_faults = 1;
+                injectors[idx] = std::make_shared<FaultInjector>(fc);
+            } else if (i % 20 == stall_phase) {
+                fc.stall_tiles = {0};
+                fc.stall_for = std::chrono::milliseconds(5);
+                fc.max_stalls = 1;
+                injectors[idx] = std::make_shared<FaultInjector>(fc);
+            }
+            r.fault_injector = injectors[idx];
+        }
+        submit_at[idx] = Clock::now();
+        futures.push_back(tier.submit(std::move(r)));
+    }
+
+    // Await every future under a global budget: a future still unready when
+    // the budget expires is *lost* — the invariant the soak exists to catch.
+    std::vector<double> latency_ms(static_cast<std::size_t>(n), -1.0);
+    const Clock::time_point await_deadline = Clock::now() + std::chrono::seconds(120);
+    int remaining = n;
+    while (remaining > 0 && Clock::now() < await_deadline) {
+        for (int i = 0; i < n; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            if (latency_ms[idx] >= 0.0) continue;
+            if (futures[idx].wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                latency_ms[idx] = ms_between(submit_at[idx], Clock::now());
+                --remaining;
+            }
+        }
+        if (remaining > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    out.lost = remaining;
+    out.wall_ms = ms_between(t0, Clock::now());
+
+    std::vector<double> completed_ms;
+    for (int i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (latency_ms[idx] < 0.0) continue;  // lost: leave it to the gate
+        try {
+            const LayerResult r = futures[idx].get();
+            completed_ms.push_back(latency_ms[idx]);
+            if (!identical(expected[idx], r)) out.identical_ok = false;
+        } catch (const SaloError&) {
+            // failed / timed_out / cancelled / rejected: classified by the
+            // tier's own counters below.
+        }
+    }
+    tier.close();
+
+    out.stats = tier.stats();
+    out.conserved = out.stats.accounted() == out.stats.submitted;
+    out.throughput_rps = 1000.0 * static_cast<double>(completed_ms.size()) / out.wall_ms;
+    out.p50_ms = percentile(completed_ms, 0.50);
+    out.p99_ms = percentile(completed_ms, 0.99);
+    if (bad_injector) out.shard_faults = bad_injector->faults_injected();
+    for (const auto& inj : injectors) {
+        if (!inj) continue;
+        out.transient_faults += inj->faults_injected();
+        out.stalls += inj->stalls_injected();
+    }
+    return out;
+}
+
+void print_tier(const TierRunResult& t) {
+    std::printf("tier[%d shard%s, %s]        %9.1f ms  (%.1f req/s)  "
+                "p50 %.1f ms, p99 %.1f ms\n",
+                t.shards, t.shards == 1 ? "" : "s", t.chaos ? "chaos" : "healthy",
+                t.wall_ms, t.throughput_rps, t.p50_ms, t.p99_ms);
+    std::printf("  completed %llu / %llu (failed %llu), retried %llu, "
+                "failed_over %llu\n",
+                static_cast<unsigned long long>(t.stats.completed),
+                static_cast<unsigned long long>(t.stats.submitted),
+                static_cast<unsigned long long>(t.stats.failed),
+                static_cast<unsigned long long>(t.stats.retried),
+                static_cast<unsigned long long>(t.stats.failed_over));
+    if (t.chaos)
+        std::printf("  bad shard %d: %llu shard faults; %llu transient faults, "
+                    "%llu stalls; quarantined %llu, reintegrated %llu\n",
+                    t.bad_shard, static_cast<unsigned long long>(t.shard_faults),
+                    static_cast<unsigned long long>(t.transient_faults),
+                    static_cast<unsigned long long>(t.stalls),
+                    static_cast<unsigned long long>(t.stats.quarantined_shard_events),
+                    static_cast<unsigned long long>(t.stats.reintegrated_shard_events));
+    std::printf("  lost futures: %d; conservation law holds: %s; completed "
+                "bit-identical: %s\n",
+                t.lost, t.conserved ? "yes" : "NO — BUG",
+                t.identical_ok ? "yes" : "NO — BUG");
+}
+
+/// The invariants every tier run must satisfy, chaos or not.
+bool tier_invariants_ok(const TierRunResult& t) {
+    return t.lost == 0 && t.conserved && t.identical_ok;
+}
+
+void tier_json(std::ostream& os, const TierRunResult& t, const char* indent) {
+    os << indent << "{\n"
+       << indent << "  \"shards\": " << t.shards << ",\n"
+       << indent << "  \"chaos\": " << (t.chaos ? "true" : "false") << ",\n"
+       << indent << "  \"wall_ms\": " << t.wall_ms << ",\n"
+       << indent << "  \"throughput_rps\": " << t.throughput_rps << ",\n"
+       << indent << "  \"latency_p50_ms\": " << t.p50_ms << ",\n"
+       << indent << "  \"latency_p99_ms\": " << t.p99_ms << ",\n"
+       << indent << "  \"submitted\": " << t.stats.submitted << ",\n"
+       << indent << "  \"completed\": " << t.stats.completed << ",\n"
+       << indent << "  \"failed\": " << t.stats.failed << ",\n"
+       << indent << "  \"retried\": " << t.stats.retried << ",\n"
+       << indent << "  \"failed_over\": " << t.stats.failed_over << ",\n"
+       << indent << "  \"quarantined_shard_events\": "
+       << t.stats.quarantined_shard_events << ",\n"
+       << indent << "  \"reintegrated_shard_events\": "
+       << t.stats.reintegrated_shard_events << ",\n"
+       << indent << "  \"lost_futures\": " << t.lost << ",\n"
+       << indent << "  \"conserved\": " << (t.conserved ? "true" : "false") << ",\n"
+       << indent << "  \"completed_bit_identical\": "
+       << (t.identical_ok ? "true" : "false") << "\n"
+       << indent << "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,12 +285,19 @@ int main(int argc, char** argv) {
 
     bool quick = false;
     bool overload = false;
+    bool chaos = false;
+    bool sweep_shards = false;
+    int shards = 0;
     int num_requests = 48;
     std::uint64_t seed = 42;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) quick = true;
         else if (std::strcmp(argv[i], "--overload") == 0) overload = true;
+        else if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+        else if (std::strcmp(argv[i], "--sweep-shards") == 0) sweep_shards = true;
+        else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+            shards = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
             num_requests = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
@@ -87,12 +306,14 @@ int main(int argc, char** argv) {
             json_path = argv[++i];
         else {
             std::cerr << "usage: bench_serving [--quick] [--requests N] [--seed S] "
-                         "[--overload] [--json path]\n";
+                         "[--overload] [--shards N] [--chaos] [--sweep-shards] "
+                         "[--json path]\n";
             return 2;
         }
     }
     if (quick) num_requests = std::min(num_requests, 16);
     if (num_requests < 1) num_requests = 1;
+    if (chaos && shards <= 0) shards = 4;  // the soak needs a tier to degrade
 
     // The mixed stream: one NLP shape, two vision shapes (paper Table 2
     // families, scaled so a full stream finishes in seconds at functional
@@ -334,6 +555,58 @@ int main(int argc, char** argv) {
                     conserved ? "yes" : "NO — BUG", ov.identical_ok ? "yes" : "NO — BUG");
     }
 
+    // --- Sharded tier: healthy baseline, then the seeded chaos soak -------
+    bool tier_ok = true;
+    std::vector<TierRunResult> tier_runs;  // recorded to JSON
+    double chaos_p99_ratio = 0.0;
+    if (shards > 0) {
+        std::printf("\nsharded tier: %d shards, seed %llu%s\n", shards,
+                    static_cast<unsigned long long>(seed),
+                    chaos ? " (chaos soak)" : "");
+        const TierRunResult healthy =
+            run_tier(config, shards, /*chaos=*/false, seed, req_shape, req_qkv, expected);
+        print_tier(healthy);
+        tier_runs.push_back(healthy);
+        tier_ok = tier_ok && tier_invariants_ok(healthy);
+        if (chaos) {
+            const TierRunResult soak =
+                run_tier(config, shards, /*chaos=*/true, seed, req_shape, req_qkv,
+                         expected);
+            print_tier(soak);
+            tier_runs.push_back(soak);
+            // The p99 bar floors the healthy baseline at 10 ms so a
+            // microsecond-fast healthy tier cannot turn scheduling noise
+            // into a gate failure.
+            const double healthy_p99 = std::max(healthy.p99_ms, 10.0);
+            chaos_p99_ratio = soak.p99_ms / healthy_p99;
+            const bool soak_ok = tier_invariants_ok(soak) && soak.stats.retried >= 1 &&
+                                 chaos_p99_ratio < 3.0;
+            std::printf("  chaos p99 %.1f ms vs healthy p99 %.1f ms: %.2fx "
+                        "(bar < 3x) -> %s\n",
+                        soak.p99_ms, healthy.p99_ms, chaos_p99_ratio,
+                        soak_ok ? "OK" : "FAIL");
+            tier_ok = tier_ok && soak_ok;
+        }
+    }
+    if (sweep_shards) {
+        std::printf("\nshard sweep (healthy + chaos per width, seed %llu):\n",
+                    static_cast<unsigned long long>(seed));
+        for (const int width : {1, 2, 4}) {
+            for (const bool with_chaos : {false, true}) {
+                // Skip combinations the explicit --shards run already did.
+                bool done = false;
+                for (const TierRunResult& t : tier_runs)
+                    if (t.shards == width && t.chaos == with_chaos) done = true;
+                if (done) continue;
+                const TierRunResult t = run_tier(config, width, with_chaos, seed,
+                                                 req_shape, req_qkv, expected);
+                print_tier(t);
+                tier_runs.push_back(t);
+                tier_ok = tier_ok && tier_invariants_ok(t);
+            }
+        }
+    }
+
     if (!json_path.empty()) {
         char date[32] = "unknown";
         const std::time_t now = std::time(nullptr);
@@ -383,9 +656,19 @@ int main(int argc, char** argv) {
                << (ov.identical_ok ? "true" : "false") << "\n"
                << "  }";
         }
+        if (!tier_runs.empty()) {
+            os << ",\n  \"shard_sweep\": [\n";
+            for (std::size_t i = 0; i < tier_runs.size(); ++i) {
+                tier_json(os, tier_runs[i], "    ");
+                if (i + 1 < tier_runs.size()) os << ",";
+                os << "\n";
+            }
+            os << "  ]";
+            if (chaos) os << ",\n  \"chaos_p99_ratio\": " << chaos_p99_ratio;
+        }
         os << "\n}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
     const bool overload_ok = !ov.ran || (ov.identical_ok && ov.p99_ratio < 2.0);
-    return bit_identical && overload_ok ? 0 : 1;
+    return bit_identical && overload_ok && tier_ok ? 0 : 1;
 }

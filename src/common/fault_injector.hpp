@@ -25,14 +25,17 @@
 // executed (tiles_seen() == 0).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "core/cancellation.hpp"
 #include "core/errors.hpp"
 
 namespace salo {
@@ -53,6 +56,9 @@ public:
         /// Stop injecting after this many faults (< 0 = unlimited), so a
         /// test can fault one request and leave the session serviceable.
         int max_faults = -1;
+        /// Stop stalling after this many stalls (< 0 = unlimited), so a
+        /// test can wedge one attempt and let its retry run clean.
+        int max_stalls = -1;
     };
 
     FaultInjector() = default;
@@ -60,11 +66,23 @@ public:
 
     /// Consulted by the engine before executing tile `tile` (schedule
     /// order, per head). May throw EngineFault or sleep; always counts.
-    void on_tile(int tile) const {
+    ///
+    /// A stall is bounded by the run's robustness hooks: the sleep is taken
+    /// in small slices, and if `deadline` passes (or `cancel` fires) before
+    /// the stall elapses, the stall throws DeadlineExceeded /
+    /// RequestCancelled instead of blocking the lane for the remainder —
+    /// an injected wedge can never hold a request past its deadline.
+    void on_tile(int tile,
+                 const std::optional<std::chrono::steady_clock::time_point>& deadline =
+                     std::nullopt,
+                 const CancellationToken* cancel = nullptr) const {
         tiles_seen_.fetch_add(1, std::memory_order_relaxed);
-        if (should_stall(tile)) {
+        if (should_stall(tile) &&
+            (config_.max_stalls < 0 ||
+             stalls_injected_.load(std::memory_order_relaxed) <
+                 static_cast<std::uint64_t>(config_.max_stalls))) {
             stalls_injected_.fetch_add(1, std::memory_order_relaxed);
-            std::this_thread::sleep_for(config_.stall_for);
+            stall(tile, deadline, cancel);
         }
         if (!should_fault(tile)) return;
         if (config_.max_faults >= 0) {
@@ -98,6 +116,30 @@ public:
     }
 
 private:
+    void stall(int tile,
+               const std::optional<std::chrono::steady_clock::time_point>& deadline,
+               const CancellationToken* cancel) const {
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point until = Clock::now() + config_.stall_for;
+        for (;;) {
+            const Clock::time_point now = Clock::now();
+            if (deadline && now >= *deadline)
+                throw DeadlineExceeded("deadline exceeded during injected stall at "
+                                       "tile " +
+                                       std::to_string(tile));
+            if (cancel != nullptr && cancel->cancelled())
+                throw RequestCancelled("request cancelled during injected stall at "
+                                       "tile " +
+                                       std::to_string(tile));
+            if (now >= until) return;
+            // Sleep in slices so a deadline or cancel lands within ~1 ms of
+            // firing, however long the configured stall is.
+            Clock::time_point next = std::min(until, now + std::chrono::milliseconds(1));
+            if (deadline && *deadline < next) next = *deadline;
+            std::this_thread::sleep_until(next);
+        }
+    }
+
     bool listed(const std::vector<int>& tiles, int tile) const {
         for (int t : tiles)
             if (t == tile) return true;

@@ -21,4 +21,28 @@ AdmissionDecision AdmissionController::decide(const AdmissionSnapshot& s,
                                                       : AdmissionDecision::wait;
 }
 
+AdmissionPolicy scaled_policy(const AdmissionPolicy& base, int healthy_shards,
+                              int total_shards) {
+    if (total_shards <= 0) return base;
+    if (healthy_shards < 0) healthy_shards = 0;
+    if (healthy_shards >= total_shards) return base;
+    const auto h = static_cast<std::uint64_t>(healthy_shards);
+    const auto t = static_cast<std::uint64_t>(total_shards);
+    auto scale_size = [&](std::size_t limit) -> std::size_t {
+        if (limit == 0) return 0;  // unbounded stays unbounded
+        const std::uint64_t scaled = static_cast<std::uint64_t>(limit) * h / t;
+        return static_cast<std::size_t>(scaled > 0 ? scaled : 1);
+    };
+    auto scale_cost = [&](std::uint64_t limit) -> std::uint64_t {
+        if (limit == 0) return 0;
+        const std::uint64_t scaled = limit * h / t;
+        return scaled > 0 ? scaled : 1;
+    };
+    AdmissionPolicy p = base;
+    p.max_queue = scale_size(base.max_queue);
+    p.max_queue_batch = scale_size(base.max_queue_batch);
+    p.max_outstanding_cost = scale_cost(base.max_outstanding_cost);
+    return p;
+}
+
 }  // namespace salo

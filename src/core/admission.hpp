@@ -69,6 +69,14 @@ enum class AdmissionDecision {
     reject,  ///< a limit is hit and the mode says to shed (QueueFull)
 };
 
+/// Shrink a policy's limits to the healthy fraction of a sharded tier: a
+/// 4-shard tier with 1 shard quarantined keeps 3/4 of each nonzero limit
+/// (never below 1, and 0 stays 0 = unbounded). Degraded tiers shed earlier
+/// instead of queueing work they cannot serve in time
+/// (core/shard_router.hpp).
+AdmissionPolicy scaled_policy(const AdmissionPolicy& base, int healthy_shards,
+                              int total_shards);
+
 class AdmissionController {
 public:
     AdmissionController() = default;

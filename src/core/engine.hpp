@@ -177,7 +177,14 @@ private:
             if (has_deadline && std::chrono::steady_clock::now() > deadline)
                 throw DeadlineExceeded("deadline exceeded at tile boundary " +
                                        std::to_string(tile));
-            if (fault != nullptr) fault->on_tile(tile);
+            // The injector gets the deadline and token so an injected stall
+            // is bounded by them (it throws instead of sleeping past either).
+            if (fault != nullptr)
+                fault->on_tile(tile,
+                               has_deadline ? std::optional<std::chrono::steady_clock::
+                                                                time_point>(deadline)
+                                            : std::nullopt,
+                               cancel);
         }
     };
 

@@ -1,0 +1,208 @@
+#include "core/health.hpp"
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+CircuitBreaker::CircuitBreaker(HealthPolicy policy) : policy_(policy) {
+    SALO_EXPECTS(policy_.window >= 1);
+    SALO_EXPECTS(policy_.min_samples >= 1);
+    SALO_EXPECTS(policy_.failure_threshold > 0.0 && policy_.failure_threshold <= 1.0);
+    SALO_EXPECTS(policy_.reintegrate_after >= 1);
+    SALO_EXPECTS(policy_.max_concurrent_probes >= 1);
+    ring_.assign(policy_.window, 0);
+}
+
+ShardState CircuitBreaker::state(Clock::time_point now) {
+    if (state_ == ShardState::quarantined && now - quarantined_at_ >= policy_.cooldown) {
+        state_ = ShardState::probing;
+        clean_probes_ = 0;
+        inflight_probes_ = 0;
+    }
+    return state_;
+}
+
+bool CircuitBreaker::try_acquire(Clock::time_point now) {
+    switch (state(now)) {
+        case ShardState::healthy:
+            return true;
+        case ShardState::probing:
+            if (inflight_probes_ >= policy_.max_concurrent_probes) return false;
+            ++inflight_probes_;
+            return true;
+        case ShardState::quarantined:
+            return false;
+    }
+    return false;
+}
+
+void CircuitBreaker::force_probe(Clock::time_point now) {
+    // Only the quarantined -> probing transition restarts the clean-probe
+    // count: consecutive forced probes must accumulate progress toward
+    // reintegration exactly like cooldown-opened probes do.
+    if (state(now) == ShardState::quarantined) {
+        state_ = ShardState::probing;
+        clean_probes_ = 0;
+        inflight_probes_ = 0;
+    }
+    if (state_ == ShardState::probing) ++inflight_probes_;
+    // healthy needs no slot accounting; the matching record() handles both.
+}
+
+double CircuitBreaker::failure_fraction() const {
+    return ring_count_ == 0
+               ? 0.0
+               : static_cast<double>(ring_failures_) / static_cast<double>(ring_count_);
+}
+
+void CircuitBreaker::open(Clock::time_point now) {
+    state_ = ShardState::quarantined;
+    quarantined_at_ = now;
+    ++quarantined_events_;
+    // A fresh quarantine judges the shard anew after reintegration: the
+    // window restarts so stale history neither hides nor amplifies the
+    // next incident.
+    ring_.assign(policy_.window, 0);
+    ring_next_ = 0;
+    ring_count_ = 0;
+    ring_failures_ = 0;
+    inflight_probes_ = 0;
+    clean_probes_ = 0;
+}
+
+void CircuitBreaker::record(Outcome outcome, Clock::time_point now) {
+    if (outcome == Outcome::success) ++successes_;
+    if (outcome == Outcome::failure) ++failures_;
+
+    switch (state(now)) {
+        case ShardState::healthy: {
+            if (outcome == Outcome::neutral) return;
+            const unsigned char fail = outcome == Outcome::failure ? 1 : 0;
+            ring_failures_ += fail;
+            if (ring_count_ == ring_.size())
+                ring_failures_ -= ring_[ring_next_];
+            else
+                ++ring_count_;
+            ring_[ring_next_] = fail;
+            ring_next_ = (ring_next_ + 1) % ring_.size();
+            if (ring_count_ >= policy_.min_samples &&
+                failure_fraction() >= policy_.failure_threshold)
+                open(now);
+            return;
+        }
+        case ShardState::probing: {
+            if (inflight_probes_ > 0) --inflight_probes_;
+            if (outcome == Outcome::neutral) return;
+            if (outcome == Outcome::failure) {
+                open(now);  // a dirty probe restarts the whole quarantine
+                return;
+            }
+            if (++clean_probes_ >= policy_.reintegrate_after) {
+                state_ = ShardState::healthy;
+                ++reintegrated_events_;
+                clean_probes_ = 0;
+                inflight_probes_ = 0;
+            }
+            return;
+        }
+        case ShardState::quarantined:
+            // An attempt acquired before the quarantine finishing now: its
+            // outcome already informed (or caused) the open — nothing more
+            // to judge.
+            return;
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+HealthSupervisor::HealthSupervisor(int shards, HealthPolicy policy) {
+    SALO_EXPECTS(shards >= 1);
+    breakers_.assign(static_cast<std::size_t>(shards), CircuitBreaker(policy));
+}
+
+std::vector<int> HealthSupervisor::acquirable(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<int> out;
+    out.reserve(breakers_.size());
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+        CircuitBreaker& b = breakers_[i];
+        const ShardState s = b.state(now);
+        if (s == ShardState::healthy)
+            out.push_back(static_cast<int>(i));
+        else if (s == ShardState::probing && b.try_acquire(now)) {
+            // Peeking probe capacity without consuming it would race the
+            // later acquire; instead release immediately and let the real
+            // try_acquire claim the slot.
+            b.record(CircuitBreaker::Outcome::neutral, now);
+            out.push_back(static_cast<int>(i));
+        }
+    }
+    return out;
+}
+
+bool HealthSupervisor::try_acquire(int shard, Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    return breakers_[static_cast<std::size_t>(shard)].try_acquire(now);
+}
+
+int HealthSupervisor::force_acquire_soonest(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    // Oldest quarantine first: its cooldown is closest to expiring, so it
+    // is the least-bad shard to press back into service.
+    int best = 0;
+    Clock::time_point best_at = Clock::time_point::max();
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+        const Clock::time_point at = breakers_[i].quarantined_at();
+        if (at < best_at) {
+            best_at = at;
+            best = static_cast<int>(i);
+        }
+    }
+    breakers_[static_cast<std::size_t>(best)].force_probe(now);
+    return best;
+}
+
+void HealthSupervisor::record(int shard, CircuitBreaker::Outcome outcome,
+                              Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    breakers_[static_cast<std::size_t>(shard)].record(outcome, now);
+}
+
+int HealthSupervisor::healthy_count(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    int healthy = 0;
+    for (CircuitBreaker& b : breakers_)
+        if (b.state(now) == ShardState::healthy) ++healthy;
+    return healthy;
+}
+
+std::vector<ShardHealthSnapshot> HealthSupervisor::snapshot(Clock::time_point now) {
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<ShardHealthSnapshot> out(breakers_.size());
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+        CircuitBreaker& b = breakers_[i];
+        out[i].state = b.state(now);
+        out[i].failure_fraction = b.failure_fraction();
+        out[i].successes = b.successes();
+        out[i].failures = b.failures();
+        out[i].quarantined_events = b.quarantined_events();
+        out[i].reintegrated_events = b.reintegrated_events();
+    }
+    return out;
+}
+
+std::uint64_t HealthSupervisor::quarantined_events_total() const {
+    std::lock_guard<std::mutex> lock(m_);
+    std::uint64_t total = 0;
+    for (const CircuitBreaker& b : breakers_) total += b.quarantined_events();
+    return total;
+}
+
+std::uint64_t HealthSupervisor::reintegrated_events_total() const {
+    std::lock_guard<std::mutex> lock(m_);
+    std::uint64_t total = 0;
+    for (const CircuitBreaker& b : breakers_) total += b.reintegrated_events();
+    return total;
+}
+
+}  // namespace salo

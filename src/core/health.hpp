@@ -1,0 +1,178 @@
+// Shard health supervision: per-shard circuit breakers for the sharded
+// serving tier (core/shard_router.hpp).
+//
+// Each engine shard gets a CircuitBreaker tracking a rolling window of
+// attempt outcomes. The state machine (docs/RELIABILITY.md):
+//
+//   healthy ──(failure fraction over the window >= threshold,
+//              with at least min_samples outcomes)──> quarantined
+//   quarantined ──(cooldown elapsed)──> probing (half-open)
+//   probing ──(reintegrate_after consecutive clean probes)──> healthy
+//   probing ──(any probe failure)──> quarantined (fresh cooldown)
+//
+// While quarantined a shard receives no traffic; while probing it receives
+// at most max_concurrent_probes in-flight requests (real traffic doubles as
+// the probe — there is no synthetic ping, so a probe exercises the exact
+// faulting path). The router counts every healthy->quarantined transition
+// as a quarantined_shard_event and every probing->healthy transition as a
+// reintegrated_shard_event.
+//
+// Determinism: the breaker never reads the clock itself — every method
+// takes an explicit time point — so tests drive the whole state machine
+// with synthetic timestamps and exact outcome sequences
+// (tests/test_shard_router.cpp). CircuitBreaker is single-threaded by
+// design; HealthSupervisor adds the mutex and the multi-shard view the
+// router uses.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace salo {
+
+enum class ShardState {
+    healthy,      ///< breaker closed: full traffic
+    quarantined,  ///< breaker open: no traffic until cooldown elapses
+    probing,      ///< breaker half-open: limited probe traffic
+};
+
+inline const char* shard_state_name(ShardState s) {
+    switch (s) {
+        case ShardState::healthy: return "healthy";
+        case ShardState::quarantined: return "quarantined";
+        case ShardState::probing: return "probing";
+    }
+    return "?";
+}
+
+struct HealthPolicy {
+    /// Rolling outcome window per shard (last `window` attempts).
+    std::size_t window = 16;
+    /// Never judge a shard before this many outcomes are in the window.
+    std::size_t min_samples = 4;
+    /// Quarantine when failures / outcomes-in-window >= this fraction.
+    double failure_threshold = 0.5;
+    /// Quarantine duration before the first half-open probe is allowed.
+    std::chrono::milliseconds cooldown{25};
+    /// Consecutive clean probes required to reintegrate (close the breaker).
+    int reintegrate_after = 3;
+    /// In-flight probe requests allowed while probing.
+    int max_concurrent_probes = 1;
+};
+
+/// One shard's breaker. Not thread-safe; see HealthSupervisor.
+class CircuitBreaker {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    /// How one dispatched attempt on the shard ended, from the breaker's
+    /// point of view. `neutral` releases the acquisition without judging
+    /// the shard (the request was cancelled, hit its own deadline, or was
+    /// a caller bug — none of which say anything about shard health).
+    enum class Outcome { success, failure, neutral };
+
+    explicit CircuitBreaker(HealthPolicy policy = {});
+
+    /// Current state, applying the quarantined -> probing transition if the
+    /// cooldown has elapsed by `now`.
+    ShardState state(Clock::time_point now);
+
+    /// Try to take one dispatch slot. healthy: always granted. probing:
+    /// granted while fewer than max_concurrent_probes are in flight.
+    /// quarantined: refused. Every granted acquire must be released by
+    /// exactly one record() call.
+    bool try_acquire(Clock::time_point now);
+
+    /// Last-resort acquisition when every shard of the tier refuses: force
+    /// the breaker into probing (even mid-cooldown) and take a probe slot.
+    /// Keeps a fully-faulting tier degraded-but-serving instead of dead.
+    void force_probe(Clock::time_point now);
+
+    /// Release the slot taken by try_acquire/force_probe and record how the
+    /// attempt ended. May transition the state machine (see file comment).
+    void record(Outcome outcome, Clock::time_point now);
+
+    // Introspection (counters never reset).
+    std::uint64_t quarantined_events() const { return quarantined_events_; }
+    std::uint64_t reintegrated_events() const { return reintegrated_events_; }
+    std::uint64_t successes() const { return successes_; }
+    std::uint64_t failures() const { return failures_; }
+    /// Failure fraction of the current rolling window (0 when empty).
+    double failure_fraction() const;
+    Clock::time_point quarantined_at() const { return quarantined_at_; }
+    const HealthPolicy& policy() const { return policy_; }
+
+private:
+    void open(Clock::time_point now);
+
+    HealthPolicy policy_;
+    ShardState state_ = ShardState::healthy;
+
+    // Rolling outcome ring: 1 = failure, 0 = success.
+    std::vector<unsigned char> ring_;
+    std::size_t ring_next_ = 0;
+    std::size_t ring_count_ = 0;
+    std::size_t ring_failures_ = 0;
+
+    Clock::time_point quarantined_at_{};
+    int inflight_probes_ = 0;
+    int clean_probes_ = 0;
+
+    std::uint64_t quarantined_events_ = 0;
+    std::uint64_t reintegrated_events_ = 0;
+    std::uint64_t successes_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+/// Point-in-time view of one shard, for stats and benches.
+struct ShardHealthSnapshot {
+    ShardState state = ShardState::healthy;
+    double failure_fraction = 0.0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t quarantined_events = 0;
+    std::uint64_t reintegrated_events = 0;
+};
+
+/// Thread-safe multi-shard front of the breakers — the router's view.
+class HealthSupervisor {
+public:
+    using Clock = CircuitBreaker::Clock;
+
+    HealthSupervisor(int shards, HealthPolicy policy);
+
+    int shards() const { return static_cast<int>(breakers_.size()); }
+
+    /// Indices of shards that would currently grant a dispatch slot
+    /// (healthy, or probing with probe capacity). Applies cooldown
+    /// transitions as a side effect.
+    std::vector<int> acquirable(Clock::time_point now);
+
+    /// Take a dispatch slot on `shard`; false if it no longer grants one.
+    bool try_acquire(int shard, Clock::time_point now);
+
+    /// Every shard refused: force-probe the shard whose quarantine is
+    /// oldest (its cooldown expires soonest) and return its index. The tier
+    /// degrades to serving through probes instead of failing outright.
+    int force_acquire_soonest(Clock::time_point now);
+
+    /// Release the slot on `shard` with the attempt's outcome.
+    void record(int shard, CircuitBreaker::Outcome outcome, Clock::time_point now);
+
+    /// Shards currently in ShardState::healthy (probing shards do not
+    /// count) — drives proportional admission scaling in the router.
+    int healthy_count(Clock::time_point now);
+
+    std::vector<ShardHealthSnapshot> snapshot(Clock::time_point now);
+    std::uint64_t quarantined_events_total() const;
+    std::uint64_t reintegrated_events_total() const;
+
+private:
+    mutable std::mutex m_;
+    std::vector<CircuitBreaker> breakers_;
+};
+
+}  // namespace salo

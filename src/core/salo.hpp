@@ -19,8 +19,10 @@
 #include "core/config.hpp"
 #include "core/engine.hpp"
 #include "core/errors.hpp"
+#include "core/health.hpp"
 #include "core/plan_cache.hpp"
 #include "core/session.hpp"
+#include "core/shard_router.hpp"
 #include "numeric/fixed.hpp"
 #include "numeric/pwl_exp.hpp"
 #include "numeric/quantize.hpp"

@@ -124,6 +124,15 @@ struct SessionStats {
     std::size_t max_batch = 0;    ///< largest batch observed
     PlanCacheStats plan_cache;    ///< the engine cache serving this session
 
+    // Sharded-tier counters (core/shard_router.hpp); always 0 on a plain
+    // single-engine SaloSession. retried/failed_over count *attempts* (one
+    // request retried twice contributes 2) and live outside the
+    // conservation law by construction.
+    std::uint64_t retried = 0;      ///< re-dispatches after a retryable shard failure
+    std::uint64_t failed_over = 0;  ///< of retried: attempts routed to a different shard
+    std::uint64_t quarantined_shard_events = 0;   ///< breaker healthy -> quarantined
+    std::uint64_t reintegrated_shard_events = 0;  ///< breaker probing -> healthy
+
     /// Every accepted submit() resolves exactly one way; this is the
     /// conservation law tests assert.
     std::uint64_t accounted() const {

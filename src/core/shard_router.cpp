@@ -1,0 +1,492 @@
+#include "core/shard_router.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/hash.hpp"
+
+namespace salo {
+
+namespace {
+
+/// Same admission cost proxy as SaloSession: heads x rows.
+std::uint64_t request_cost(const AttentionRequest& r) {
+    return static_cast<std::uint64_t>(r.q.count()) *
+           static_cast<std::uint64_t>(r.q.rows());
+}
+
+template <typename Error>
+void fail_promise(std::promise<LayerResult>& promise, Error error) {
+    promise.set_exception(std::make_exception_ptr(std::move(error)));
+}
+
+}  // namespace
+
+ShardedSession::ShardedSession(const SaloConfig& config, ShardedSessionOptions options)
+    : options_(std::move(options)),
+      health_(std::max(options_.num_shards, 1), options_.health) {
+    SALO_EXPECTS(options_.num_shards >= 1);
+    SALO_EXPECTS(options_.retry.max_attempts >= 1);
+    shards_.reserve(static_cast<std::size_t>(options_.num_shards));
+    for (int i = 0; i < options_.num_shards; ++i) {
+        SaloConfig shard_config = config;
+        const auto idx = static_cast<std::size_t>(i);
+        if (idx < options_.shard_fault_injectors.size() &&
+            options_.shard_fault_injectors[idx] != nullptr)
+            shard_config.fault_injector = options_.shard_fault_injectors[idx];
+        shards_.push_back(std::make_unique<Shard>(shard_config));
+    }
+    const int workers =
+        options_.router_workers > 0 ? options_.router_workers : 2 * options_.num_shards;
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        workers_.emplace_back([this] { worker_main(); });
+}
+
+ShardedSession::~ShardedSession() { close(); }
+
+CompiledPlanPtr ShardedSession::compile(const HybridPattern& pattern,
+                                        int head_dim) const {
+    return shards_.front()->engine.compile(pattern, head_dim);
+}
+
+AdmissionSnapshot ShardedSession::snapshot_locked() const {
+    AdmissionSnapshot s;
+    s.queued_interactive = queue_interactive_.size();
+    s.queued_batch = queue_batch_.size();
+    s.outstanding_cost = queued_cost_ + in_flight_cost_;
+    return s;
+}
+
+std::future<LayerResult> ShardedSession::submit(AttentionRequest request) {
+    SALO_EXPECTS(request.plan != nullptr || request.pattern.has_value());
+    SALO_EXPECTS(request.q.count() >= 1);
+    SALO_EXPECTS(request.q.count() == request.k.count() &&
+                 request.k.count() == request.v.count());
+
+    Task task;
+    task.cost = request_cost(request);
+    // The routing key must be known before any shard compiles the request:
+    // consistent_hash keeps one shape on one shard's PlanCache.
+    if (options_.routing == RoutingPolicy::consistent_hash) {
+        const SaloConfig& c = config();
+        task.fingerprint =
+            request.plan != nullptr
+                ? request.plan->fingerprint()
+                : plan_fingerprint(*request.pattern, request.q.cols(), c.geometry,
+                                   c.schedule_options);
+    }
+    task.request = std::move(request);
+    std::future<LayerResult> future = task.promise.get_future();
+    const Priority priority = task.request.priority;
+
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        if (closed_)
+            throw SessionClosed(
+                "ShardedSession: submit() after close() — the tier is closed and no "
+                "longer accepts requests");
+        ++submitted_;
+        task.id = next_task_id_++;
+
+        const Clock::time_point admission_deadline =
+            Clock::now() + options_.admission.block_timeout;
+        for (;;) {
+            if (closed_) {
+                ++rejected_;
+                fail_promise(task.promise,
+                             SessionClosed("ShardedSession: tier closed while the "
+                                           "request waited for admission"));
+                return future;
+            }
+            if (task.request.deadline && Clock::now() > *task.request.deadline) {
+                ++timed_out_;
+                ++shed_expired_;
+                fail_promise(task.promise,
+                             DeadlineExceeded("request deadline expired while waiting "
+                                              "for admission"));
+                return future;
+            }
+            // Degradation-aware admission: the policy's limits shrink with
+            // the healthy-shard fraction, so a half-quarantined tier sheds
+            // earlier instead of queueing work it cannot serve in time.
+            const int healthy = health_.healthy_count(Clock::now());
+            const AdmissionController admission(scaled_policy(
+                options_.admission, healthy, static_cast<int>(shards_.size())));
+            const AdmissionDecision decision =
+                admission.decide(snapshot_locked(), priority, task.cost);
+            if (decision == AdmissionDecision::admit) break;
+            if (decision == AdmissionDecision::reject) {
+                ++rejected_;
+                fail_promise(task.promise,
+                             QueueFull(std::string("tier admission rejected ") +
+                                       priority_name(priority) + "-class request (" +
+                                       std::to_string(healthy) + "/" +
+                                       std::to_string(shards_.size()) +
+                                       " shards healthy)"));
+                return future;
+            }
+            if (options_.admission.mode == AdmissionMode::block_with_timeout) {
+                if (cv_space_.wait_until(lock, admission_deadline) ==
+                    std::cv_status::timeout) {
+                    const AdmissionController retry_admission(scaled_policy(
+                        options_.admission, health_.healthy_count(Clock::now()),
+                        static_cast<int>(shards_.size())));
+                    if (retry_admission.decide(snapshot_locked(), priority,
+                                               task.cost) == AdmissionDecision::admit)
+                        break;
+                    ++rejected_;
+                    fail_promise(task.promise,
+                                 QueueFull(std::string("tier admission wait timed out "
+                                                       "for ") +
+                                           priority_name(priority) + "-class request"));
+                    return future;
+                }
+            } else {
+                cv_space_.wait(lock);
+            }
+        }
+
+        queued_cost_ += task.cost;
+        (priority == Priority::interactive ? queue_interactive_ : queue_batch_)
+            .push_back(std::move(task));
+    }
+    cv_work_.notify_one();
+    return future;
+}
+
+std::future<LayerResult> ShardedSession::submit(CompiledPlanPtr plan, Tensor3<float> q,
+                                                Tensor3<float> k, Tensor3<float> v,
+                                                float scale) {
+    return submit(
+        make_request(std::move(plan), std::move(q), std::move(k), std::move(v), scale));
+}
+
+std::future<LayerResult> ShardedSession::submit(const HybridPattern& pattern,
+                                                Tensor3<float> q, Tensor3<float> k,
+                                                Tensor3<float> v, float scale) {
+    return submit(make_request(pattern, std::move(q), std::move(k), std::move(v), scale));
+}
+
+void ShardedSession::worker_main() {
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_work_.wait(lock, [this] {
+                return closed_ || !queue_interactive_.empty() || !queue_batch_.empty();
+            });
+            if (queue_interactive_.empty() && queue_batch_.empty()) {
+                if (closed_) return;
+                continue;
+            }
+            std::deque<Task>& q =
+                queue_interactive_.empty() ? queue_batch_ : queue_interactive_;
+            task = std::move(q.front());
+            q.pop_front();
+            queued_cost_ -= task.cost;
+            in_flight_cost_ += task.cost;
+            ++in_flight_;
+        }
+        cv_space_.notify_all();
+        serve_task(task);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            in_flight_cost_ -= task.cost;
+            --in_flight_;
+        }
+        cv_space_.notify_all();
+        cv_idle_.notify_all();
+    }
+}
+
+void ShardedSession::finish(Resolution resolution, bool shed_expired) {
+    std::lock_guard<std::mutex> lock(m_);
+    switch (resolution) {
+        case Resolution::completed: ++completed_; break;
+        case Resolution::failed: ++failed_; break;
+        case Resolution::timed_out:
+            ++timed_out_;
+            if (shed_expired) ++shed_expired_;
+            break;
+        case Resolution::cancelled: ++cancelled_; break;
+    }
+}
+
+int ShardedSession::pick_shard(const Task& task, Clock::time_point now) {
+    for (;;) {
+        std::vector<int> candidates = health_.acquirable(now);
+        if (candidates.empty()) {
+            // Every breaker refused: degrade to a forced probe of the shard
+            // whose cooldown expires soonest rather than failing the tier.
+            return health_.force_acquire_soonest(now);
+        }
+        // A retry prefers any shard other than the one that just failed it.
+        if (task.last_shard >= 0 && candidates.size() > 1)
+            candidates.erase(
+                std::remove(candidates.begin(), candidates.end(), task.last_shard),
+                candidates.end());
+
+        int chosen = candidates.front();
+        switch (options_.routing) {
+            case RoutingPolicy::least_outstanding_cost: {
+                std::uint64_t best = ~0ull;
+                for (int s : candidates) {
+                    const std::uint64_t cost =
+                        shards_[static_cast<std::size_t>(s)]->outstanding_cost.load(
+                            std::memory_order_relaxed);
+                    if (cost < best) {
+                        best = cost;
+                        chosen = s;
+                    }
+                }
+                break;
+            }
+            case RoutingPolicy::consistent_hash: {
+                // Rendezvous hashing: stable per fingerprint while the
+                // candidate set shrinks/grows with shard health.
+                std::uint64_t best = 0;
+                bool first = true;
+                for (int s : candidates) {
+                    Fnv1a h;
+                    h.mix(task.fingerprint);
+                    h.mix(s);
+                    const std::uint64_t weight = h.digest();
+                    if (first || weight > best) {
+                        best = weight;
+                        chosen = s;
+                        first = false;
+                    }
+                }
+                break;
+            }
+            case RoutingPolicy::round_robin: {
+                const std::uint64_t turn =
+                    round_robin_.fetch_add(1, std::memory_order_relaxed);
+                chosen = candidates[static_cast<std::size_t>(
+                    turn % candidates.size())];
+                break;
+            }
+        }
+        if (health_.try_acquire(chosen, now)) return chosen;
+        // Lost a race with a quarantine or a probe slot; re-evaluate.
+    }
+}
+
+ShardedSession::Clock::duration ShardedSession::backoff_for(const Task& task) const {
+    const RetryPolicy& p = options_.retry;
+    const int shift = std::min(task.attempts - 1, 20);
+    const std::int64_t base_us = std::min<std::int64_t>(
+        p.max_backoff.count(), p.base_backoff.count() << shift);
+    Fnv1a h;
+    h.mix(p.jitter_seed);
+    h.mix(task.id);
+    h.mix(task.attempts);
+    const double u = static_cast<double>(h.digest() >> 11) *
+                     (1.0 / 9007199254740992.0);  // [0, 1)
+    return std::chrono::microseconds(
+        static_cast<std::int64_t>(static_cast<double>(base_us) * (0.5 + 0.5 * u)));
+}
+
+ShardedSession::WaitOutcome ShardedSession::backoff_wait(
+    Clock::duration d, const CancellationToken& cancel,
+    const std::optional<Clock::time_point>& deadline) const {
+    const Clock::time_point until = Clock::now() + d;
+    for (;;) {
+        // Token first: a cancel that fired between attempts aborts the
+        // backoff immediately — the request must resolve RequestCancelled,
+        // never burn another attempt.
+        if (cancel.cancelled()) return WaitOutcome::cancelled;
+        const Clock::time_point now = Clock::now();
+        if (deadline && now >= *deadline) return WaitOutcome::deadline;
+        if (now >= until) return WaitOutcome::elapsed;
+        Clock::time_point next = std::min(until, now + std::chrono::microseconds(200));
+        if (deadline && *deadline < next) next = *deadline;
+        std::this_thread::sleep_until(next);
+    }
+}
+
+void ShardedSession::serve_task(Task& task) {
+    // Shed without touching any shard, mirroring SaloSession's dispatcher.
+    if (task.request.cancel.cancelled()) {
+        fail_promise(task.promise, RequestCancelled("request cancelled while queued; "
+                                                    "shed before dispatch"));
+        finish(Resolution::cancelled);
+        return;
+    }
+    if (task.request.deadline && Clock::now() > *task.request.deadline) {
+        fail_promise(task.promise, DeadlineExceeded("request deadline expired while "
+                                                    "queued; shed before dispatch"));
+        finish(Resolution::timed_out, /*shed_expired=*/true);
+        return;
+    }
+
+    std::string last_fault;
+    for (;;) {
+        ++task.attempts;
+        const Clock::time_point attempt_start = Clock::now();
+        const int shard_index = pick_shard(task, attempt_start);
+        if (task.attempts > 1 && shard_index != task.last_shard)
+            failed_over_.fetch_add(1, std::memory_order_relaxed);
+        Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+        shard.outstanding_cost.fetch_add(task.cost, std::memory_order_relaxed);
+        const int active_here = shard.active.fetch_add(1, std::memory_order_relaxed) + 1;
+
+        RunOptions run_options;
+        run_options.fidelity = task.request.fidelity;
+        // Alone on the shard: use its whole pool (tile parallelism). Sharing
+        // it: sequential lanes, like SaloSession's busy-server path. Either
+        // way the result is bit-identical (engine guarantee).
+        run_options.thread_budget = active_here == 1 ? 0 : 1;
+        run_options.cancel = task.request.cancel;
+        std::optional<Clock::time_point> attempt_deadline = task.request.deadline;
+        if (options_.stall_timeout.count() > 0) {
+            const Clock::time_point stall_bound = attempt_start + options_.stall_timeout;
+            attempt_deadline = attempt_deadline ? std::min(*attempt_deadline, stall_bound)
+                                                : stall_bound;
+        }
+        run_options.deadline = attempt_deadline;
+        run_options.fault_injector = task.request.fault_injector.get();
+
+        auto release = [&](CircuitBreaker::Outcome outcome) {
+            shard.outstanding_cost.fetch_sub(task.cost, std::memory_order_relaxed);
+            shard.active.fetch_sub(1, std::memory_order_relaxed);
+            health_.record(shard_index, outcome, Clock::now());
+        };
+
+        try {
+            const CompiledPlanPtr plan =
+                task.request.plan != nullptr
+                    ? task.request.plan
+                    : shard.engine.compile(*task.request.pattern, task.request.q.cols());
+            LayerResult result =
+                shard.engine.run(*plan, task.request.q, task.request.k, task.request.v,
+                                 task.request.scale, run_options);
+            release(CircuitBreaker::Outcome::success);
+            task.promise.set_value(std::move(result));
+            finish(Resolution::completed);
+            return;
+        } catch (const RequestCancelled&) {
+            release(CircuitBreaker::Outcome::neutral);
+            task.promise.set_exception(std::current_exception());
+            finish(Resolution::cancelled);
+            return;
+        } catch (const DeadlineExceeded&) {
+            const bool request_expired =
+                task.request.deadline && Clock::now() >= *task.request.deadline;
+            if (request_expired) {
+                // The request's own deadline: terminal, and retrying could
+                // only exceed it further.
+                release(CircuitBreaker::Outcome::neutral);
+                task.promise.set_exception(std::current_exception());
+                finish(Resolution::timed_out);
+                return;
+            }
+            // The stall bound, not the deadline: the shard wedged. Charge
+            // its breaker and retry the work elsewhere.
+            release(CircuitBreaker::Outcome::failure);
+            last_fault = "shard " + std::to_string(shard_index) +
+                         " stalled past the attempt bound";
+        } catch (const ContractViolation&) {
+            // Caller bug: deterministic on every shard, never retried.
+            release(CircuitBreaker::Outcome::neutral);
+            task.promise.set_exception(std::current_exception());
+            finish(Resolution::failed);
+            return;
+        } catch (const SaloError& e) {
+            release(CircuitBreaker::Outcome::failure);
+            last_fault = e.what();
+        } catch (const std::exception& e) {
+            release(CircuitBreaker::Outcome::failure);
+            last_fault = std::string("engine worker threw: ") + e.what();
+        } catch (...) {
+            release(CircuitBreaker::Outcome::failure);
+            last_fault = "engine worker threw a non-std exception";
+        }
+
+        // Retryable failure (EngineFault or a shard stall).
+        task.last_shard = shard_index;
+        if (task.attempts >= options_.retry.max_attempts) {
+            fail_promise(task.promise,
+                         EngineFault("retry budget exhausted after " +
+                                     std::to_string(task.attempts) +
+                                     " attempts; last failure: " + last_fault));
+            finish(Resolution::failed);
+            return;
+        }
+
+        switch (backoff_wait(backoff_for(task), task.request.cancel,
+                             task.request.deadline)) {
+            case WaitOutcome::cancelled:
+                fail_promise(task.promise,
+                             RequestCancelled("request cancelled during retry backoff; "
+                                              "not retried"));
+                finish(Resolution::cancelled);
+                return;
+            case WaitOutcome::deadline:
+                fail_promise(task.promise,
+                             DeadlineExceeded("request deadline expired during retry "
+                                              "backoff; not retried"));
+                finish(Resolution::timed_out);
+                return;
+            case WaitOutcome::elapsed:
+                break;
+        }
+        retried_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void ShardedSession::drain() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_idle_.wait(lock, [this] {
+        return queue_interactive_.empty() && queue_batch_.empty() && in_flight_ == 0;
+    });
+}
+
+void ShardedSession::close() {
+    std::vector<std::thread> to_join;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        closed_ = true;
+        to_join = std::move(workers_);
+        workers_.clear();
+    }
+    cv_work_.notify_all();
+    cv_space_.notify_all();
+    for (std::thread& t : to_join)
+        if (t.joinable()) t.join();
+}
+
+SessionStats ShardedSession::stats() const {
+    SessionStats s;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        s.submitted = submitted_;
+        s.completed = completed_;
+        s.failed = failed_;
+        s.rejected = rejected_;
+        s.timed_out = timed_out_;
+        s.cancelled = cancelled_;
+        s.shed_expired = shed_expired_;
+    }
+    s.retried = retried_.load(std::memory_order_relaxed);
+    s.failed_over = failed_over_.load(std::memory_order_relaxed);
+    s.quarantined_shard_events = health_.quarantined_events_total();
+    s.reintegrated_shard_events = health_.reintegrated_events_total();
+    for (const auto& shard : shards_) {
+        const PlanCacheStats pc = shard->engine.plan_cache_stats();
+        s.plan_cache.hits += pc.hits;
+        s.plan_cache.misses += pc.misses;
+        s.plan_cache.evictions += pc.evictions;
+        s.plan_cache.size += pc.size;
+        s.plan_cache.capacity += pc.capacity;
+    }
+    return s;
+}
+
+std::vector<ShardHealthSnapshot> ShardedSession::shard_health() const {
+    return health_.snapshot(Clock::now());
+}
+
+}  // namespace salo

@@ -1,0 +1,220 @@
+// ShardedSession: the self-healing multi-engine serving tier.
+//
+// One SaloSession hardens one engine; a ShardedSession spreads traffic over
+// N independent SaloEngine shards — each with its own worker pool and
+// PlanCache — so a wedged or faulting engine degrades the tier instead of
+// taking it down:
+//
+//   * routing: a pluggable policy picks the shard for every attempt —
+//     least-outstanding-cost (default; joins the shortest effective queue),
+//     consistent-hash by plan fingerprint (cache affinity: one shape
+//     always compiles in one shard's PlanCache), or round-robin;
+//   * retry with failover: an attempt that ends in EngineFault — or blows
+//     the shard-stall bound (`stall_timeout`) — is retried up to
+//     `RetryPolicy::max_attempts` times with exponential backoff and
+//     deterministic jitter, preferring a *different healthy* shard
+//     (counted in SessionStats::retried / failed_over, per attempt);
+//   * no wasted retries: cancelled requests and expired deadlines are never
+//     retried — the backoff wait itself polls the CancellationToken and the
+//     request deadline, so a cancel between attempts aborts the sleep
+//     immediately and resolves RequestCancelled, not EngineFault;
+//   * health supervision (core/health.hpp): every attempt outcome feeds the
+//     shard's circuit breaker; a shard past the rolling failure threshold
+//     is quarantined (no traffic), probed half-open after a cooldown, and
+//     reintegrated after K clean probes. While shards are out, tier
+//     admission limits shrink proportionally (a 4-shard tier running on 2
+//     healthy shards admits half the work) — graceful degradation, not
+//     tier failure. Even with every shard quarantined the tier keeps
+//     serving through forced probes;
+//   * determinism: every completed result is bit-identical to the
+//     sequential engine run of the same request, regardless of which shard
+//     or retry attempt produced it (all shards share one SaloConfig, and
+//     the engine guarantee is thread-count- and placement-independent).
+//
+// Accounting: the SessionStats conservation law
+//   completed + failed + rejected + timed_out + cancelled == submitted
+// holds for the tier; `retried` and `failed_over` count attempts (one
+// request retried twice contributes 2), outside the law by construction.
+// The seeded chaos harness (`bench_serving --shards N --chaos --seed S`)
+// enforces all of this plus bounded p99 in its exit code; the breaker state
+// machine and methodology are documented in docs/RELIABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/health.hpp"
+#include "core/session.hpp"
+
+namespace salo {
+
+enum class RoutingPolicy {
+    least_outstanding_cost,  ///< shard with the least queued+running cost
+    consistent_hash,         ///< rendezvous-hash the plan fingerprint (cache affinity)
+    round_robin,             ///< rotate over the currently-eligible shards
+};
+
+inline const char* routing_policy_name(RoutingPolicy p) {
+    switch (p) {
+        case RoutingPolicy::least_outstanding_cost: return "least_outstanding_cost";
+        case RoutingPolicy::consistent_hash: return "consistent_hash";
+        case RoutingPolicy::round_robin: return "round_robin";
+    }
+    return "?";
+}
+
+struct RetryPolicy {
+    /// Total attempts per request, including the first. 1 disables retry.
+    int max_attempts = 3;
+    /// Backoff before retry k (1-based) is base_backoff << (k-1), capped at
+    /// max_backoff, then jittered into [50%, 100%] of itself.
+    std::chrono::microseconds base_backoff{500};
+    std::chrono::microseconds max_backoff{8000};
+    /// Seed of the deterministic jitter hash(seed, request id, attempt).
+    std::uint64_t jitter_seed = 0x5a10;
+};
+
+struct ShardedSessionOptions {
+    int num_shards = 2;
+    RoutingPolicy routing = RoutingPolicy::least_outstanding_cost;
+    RetryPolicy retry;
+    HealthPolicy health;
+    /// Tier-level admission policy. Limits scale with the healthy-shard
+    /// fraction: on a 4-shard tier with 1 shard quarantined, a max_queue of
+    /// 32 admits 24 (never below 1) — degraded tiers shed earlier instead
+    /// of queueing deeper.
+    AdmissionPolicy admission;
+    /// Router worker threads (each carries one request end to end,
+    /// including its retries). 0 = 2 x num_shards.
+    int router_workers = 0;
+    /// Per-attempt execution bound: an attempt running longer than this is
+    /// abandoned as a shard stall and retried elsewhere (the shard's
+    /// breaker records a failure). 0 disables. Never extends a request's
+    /// own deadline — the attempt bound is min(deadline, now + stall_timeout).
+    std::chrono::milliseconds stall_timeout{0};
+    /// Chaos/testing hook: engine-level fault injector for shard i
+    /// (missing/null entries leave that shard clean). Overridden per
+    /// request by AttentionRequest::fault_injector as usual.
+    std::vector<std::shared_ptr<const FaultInjector>> shard_fault_injectors;
+};
+
+class ShardedSession {
+public:
+    explicit ShardedSession(const SaloConfig& config = {},
+                            ShardedSessionOptions options = {});
+    ~ShardedSession();  // close()
+
+    ShardedSession(const ShardedSession&) = delete;
+    ShardedSession& operator=(const ShardedSession&) = delete;
+
+    /// Same contract as SaloSession::submit — every asynchronous failure is
+    /// a typed SaloError through the future; submit throws only
+    /// SessionClosed / ContractViolation. Thread-safe.
+    std::future<LayerResult> submit(AttentionRequest request);
+    std::future<LayerResult> submit(CompiledPlanPtr plan, Tensor3<float> q,
+                                    Tensor3<float> k, Tensor3<float> v, float scale);
+    std::future<LayerResult> submit(const HybridPattern& pattern, Tensor3<float> q,
+                                    Tensor3<float> k, Tensor3<float> v, float scale);
+
+    /// Compile through shard 0's PlanCache. The artifact is valid on every
+    /// shard (all shards share one geometry/schedule configuration).
+    CompiledPlanPtr compile(const HybridPattern& pattern, int head_dim) const;
+
+    /// Block until every submitted request has resolved.
+    void drain();
+
+    /// Stop accepting, serve everything queued, join the router workers.
+    /// Idempotent; the destructor calls it.
+    void close();
+
+    /// Tier-wide stats. plan_cache aggregates over shards; retried /
+    /// failed_over / quarantined_shard_events / reintegrated_shard_events
+    /// are live here (always 0 on a plain SaloSession).
+    SessionStats stats() const;
+
+    /// Per-shard breaker states and counters.
+    std::vector<ShardHealthSnapshot> shard_health() const;
+
+    int num_shards() const { return static_cast<int>(shards_.size()); }
+    const SaloEngine& shard_engine(int shard) const {
+        return shards_[static_cast<std::size_t>(shard)]->engine;
+    }
+    const SaloConfig& config() const { return shards_.front()->engine.config(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Shard {
+        explicit Shard(const SaloConfig& config) : engine(config) {}
+        SaloEngine engine;
+        std::atomic<std::uint64_t> outstanding_cost{0};
+        std::atomic<int> active{0};
+    };
+
+    struct Task {
+        AttentionRequest request;
+        std::promise<LayerResult> promise;
+        std::uint64_t cost = 0;
+        std::uint64_t id = 0;         ///< submission order; jitter input
+        std::uint64_t fingerprint = 0;  ///< routing key (consistent_hash)
+        int attempts = 0;
+        int last_shard = -1;
+    };
+
+    /// How one request finally resolved (exactly one per task).
+    enum class Resolution { completed, failed, timed_out, cancelled };
+
+    enum class WaitOutcome { elapsed, cancelled, deadline };
+
+    void worker_main();
+    void serve_task(Task& task);
+    void finish(Resolution resolution, bool shed_expired = false);
+    int pick_shard(const Task& task, Clock::time_point now);
+    Clock::duration backoff_for(const Task& task) const;
+    /// Poll-sleep for `d`, aborting the moment the token fires or the
+    /// deadline passes — the no-retry-after-cancel guarantee lives here.
+    WaitOutcome backoff_wait(Clock::duration d, const CancellationToken& cancel,
+                             const std::optional<Clock::time_point>& deadline) const;
+    AdmissionSnapshot snapshot_locked() const;
+
+    ShardedSessionOptions options_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable HealthSupervisor health_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_space_;
+    std::condition_variable cv_idle_;
+    std::deque<Task> queue_interactive_;
+    std::deque<Task> queue_batch_;
+    std::uint64_t queued_cost_ = 0;
+    std::uint64_t in_flight_cost_ = 0;
+    std::size_t in_flight_ = 0;
+    bool closed_ = false;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t timed_out_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t shed_expired_ = 0;
+    std::uint64_t next_task_id_ = 0;
+
+    std::atomic<std::uint64_t> retried_{0};
+    std::atomic<std::uint64_t> failed_over_{0};
+    std::atomic<std::uint64_t> round_robin_{0};
+
+    std::vector<std::thread> workers_;  ///< last member: joined by close()
+};
+
+}  // namespace salo

@@ -357,6 +357,155 @@ TEST(Robustness, BatchClassCapShedsBatchButAdmitsInteractive) {
     expect_conserved(s);
 }
 
+// -------------------------------------------------------------------------
+// Injected stalls observe deadlines: a wedged tile can delay a request but
+// never hold it past its deadline (regression — stalls used to sleep the
+// full configured duration regardless).
+// -------------------------------------------------------------------------
+
+TEST(Robustness, InjectedStallIsCutShortByTheDeadline) {
+    FaultInjector::Config c;
+    c.stall_tiles = {0};
+    c.stall_for = std::chrono::duration_cast<std::chrono::microseconds>(
+        milliseconds(10000));
+    const FaultInjector injector(c);
+    const Clock::time_point t0 = Clock::now();
+    EXPECT_THROW(injector.on_tile(0, t0 + milliseconds(20)), DeadlineExceeded);
+    const milliseconds took = std::chrono::duration_cast<milliseconds>(Clock::now() - t0);
+    EXPECT_LT(took.count(), 2000);  // nowhere near the 10 s stall
+    EXPECT_EQ(injector.stalls_injected(), 1u);
+}
+
+TEST(Robustness, InjectedStallIsCutShortByCancellation) {
+    FaultInjector::Config c;
+    c.stall_tiles = {0};
+    c.stall_for = std::chrono::duration_cast<std::chrono::microseconds>(
+        milliseconds(10000));
+    const FaultInjector injector(c);
+    CancellationToken token = CancellationToken::make();
+    token.request_cancel();
+    const Clock::time_point t0 = Clock::now();
+    EXPECT_THROW(injector.on_tile(0, std::nullopt, &token), RequestCancelled);
+    const milliseconds took = std::chrono::duration_cast<milliseconds>(Clock::now() - t0);
+    EXPECT_LT(took.count(), 2000);
+}
+
+TEST(Robustness, StalledRequestResolvesAtItsDeadlineNotTheStall) {
+    const Work work;
+    SaloSession session(serving_config(1));
+    // The request wedges at its first tile for 10 s but carries a 50 ms
+    // deadline: it must fail DeadlineExceeded on the deadline's timescale.
+    auto stall = stall_injector(milliseconds(10000));
+    AttentionRequest r = work.request();
+    r.deadline = Clock::now() + milliseconds(50);
+    r.fault_injector = stall;
+    const Clock::time_point t0 = Clock::now();
+    auto future = session.submit(std::move(r));
+    EXPECT_THROW(future.get(), DeadlineExceeded);
+    const milliseconds took = std::chrono::duration_cast<milliseconds>(Clock::now() - t0);
+    EXPECT_LT(took.count(), 5000);  // deadline timescale, not the 10 s wedge
+    EXPECT_GE(stall->tiles_seen(), 1u);  // it did reach the engine
+    session.close();
+    const SessionStats s = session.stats();
+    EXPECT_EQ(s.timed_out, 1u);
+    expect_conserved(s);
+}
+
+// -------------------------------------------------------------------------
+// The extended conservation law on the sharded tier: per-attempt retry
+// counters live outside the law, and every outcome class still sums to
+// submitted under a mixed fault/cancel/deadline/reject stream.
+// -------------------------------------------------------------------------
+
+TEST(Robustness, PlainSessionReportsZeroShardCounters) {
+    const Work work;
+    SaloSession session(serving_config(1));
+    EXPECT_EQ(session.submit(work.request()).get().output.count(), 1);
+    session.close();
+    const SessionStats s = session.stats();
+    EXPECT_EQ(s.retried, 0u);
+    EXPECT_EQ(s.failed_over, 0u);
+    EXPECT_EQ(s.quarantined_shard_events, 0u);
+    EXPECT_EQ(s.reintegrated_shard_events, 0u);
+    expect_conserved(s);
+}
+
+TEST(Robustness, ShardedTierConservationUnderMixedOutcomes) {
+    const Work work;
+    ShardedSessionOptions options;
+    options.num_shards = 2;
+    options.retry.max_attempts = 3;
+    ShardedSession tier(serving_config(1), options);
+
+    std::vector<std::future<LayerResult>> futures;
+    // 6 clean requests.
+    for (int i = 0; i < 6; ++i) futures.push_back(tier.submit(work.request()));
+    // 4 transient faults: complete after exactly one retry each.
+    for (int i = 0; i < 4; ++i) {
+        FaultInjector::Config c;
+        c.fault_tiles = {0};
+        c.max_faults = 1;
+        AttentionRequest r = work.request();
+        r.fault_injector = std::make_shared<FaultInjector>(c);
+        futures.push_back(tier.submit(std::move(r)));
+    }
+    // 2 hard failures: every attempt faults, the retry budget exhausts.
+    for (int i = 0; i < 2; ++i) {
+        FaultInjector::Config c;
+        c.fault_tiles = {0};
+        AttentionRequest r = work.request();
+        r.fault_injector = std::make_shared<FaultInjector>(c);
+        futures.push_back(tier.submit(std::move(r)));
+    }
+    // 2 cancelled before dispatch could matter.
+    for (int i = 0; i < 2; ++i) {
+        CancellationToken token = CancellationToken::make();
+        token.request_cancel();
+        AttentionRequest r = work.request();
+        r.cancel = token;
+        futures.push_back(tier.submit(std::move(r)));
+    }
+    // 2 already expired: shed at admission.
+    for (int i = 0; i < 2; ++i) {
+        AttentionRequest r = work.request();
+        r.deadline = Clock::now() - milliseconds(1);
+        futures.push_back(tier.submit(std::move(r)));
+    }
+
+    int completed = 0, failed = 0, cancelled = 0, timed_out = 0;
+    for (auto& f : futures) {
+        try {
+            f.get();
+            ++completed;
+        } catch (const EngineFault&) {
+            ++failed;
+        } catch (const RequestCancelled&) {
+            ++cancelled;
+        } catch (const DeadlineExceeded&) {
+            ++timed_out;
+        }
+    }
+    tier.close();
+
+    const SessionStats s = tier.stats();
+    EXPECT_EQ(s.submitted, 16u);
+    EXPECT_EQ(s.completed, 10u);
+    EXPECT_EQ(s.failed, 2u);
+    EXPECT_EQ(s.cancelled, 2u);
+    EXPECT_EQ(s.timed_out, 2u);
+    EXPECT_EQ(s.rejected, 0u);
+    expect_conserved(s);
+    EXPECT_EQ(completed, 10);
+    EXPECT_EQ(failed, 2);
+    EXPECT_EQ(cancelled, 2);
+    EXPECT_EQ(timed_out, 2);
+    // Per-attempt counters: 4 single-retry completions plus 2 exhausted
+    // requests at 2 retries each; failover never exceeds the retry count.
+    EXPECT_EQ(s.retried, 8u);
+    EXPECT_LE(s.failed_over, s.retried);
+    EXPECT_GE(s.failed_over, 1u);
+}
+
 TEST(Robustness, LegacyMaxQueueStillBlocksUntilSpace) {
     // The legacy SessionOptions::max_queue bound folds into the admission
     // policy as depth-only block mode: submits past the bound wait and are
