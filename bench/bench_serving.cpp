@@ -614,6 +614,7 @@ int main(int argc, char** argv) {
         std::ofstream os(json_path);
         os << "{\n"
            << "  \"bench\": \"serving\",\n"
+           << "  \"schema_version\": 1,\n"
            << "  \"date\": \"" << date << "\",\n"
            << "  \"mix\": \"longformer-1024x4h + vil-28x28x2h + vil-14x14x2h\",\n"
            << "  \"seed\": " << seed << ",\n"

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
         std::ofstream os(json_path);
         os << "{\n"
            << "  \"bench\": \"throughput\",\n"
+           << "  \"schema_version\": 1,\n"
            << "  \"date\": \"" << date << "\",\n"
            << "  \"workload\": \"longformer-base-4096\",\n"
            << "  \"n\": " << w.n() << ",\n"

@@ -40,6 +40,7 @@ void SaloConfig::validate() const {
     check_positive("bus_bytes_per_cycle", bus_bytes_per_cycle);
     check_positive("plan_cache_capacity", plan_cache_capacity);
     // num_threads is deliberately unconstrained: <= 0 means "auto".
+    cycle_config().validate();  // stage latencies, named-field rejects
 }
 
 }  // namespace salo

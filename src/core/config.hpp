@@ -14,6 +14,7 @@
 #include "scheduler/geometry.hpp"
 #include "scheduler/scheduler.hpp"
 #include "sim/cycle_formulas.hpp"
+#include "sim/tile_costs.hpp"
 
 namespace salo {
 
@@ -89,6 +90,19 @@ struct SaloConfig {
         CycleConfig c;
         c.recip = recip_config;
         return c;
+    }
+
+    /// The sequential cycle-accounting parameters for head dimension `d` —
+    /// the contract shared by the engine, the analytic model and the
+    /// co-simulation kernel (sim/tile_costs.hpp).
+    TileCostParams tile_cost_params(int d) const {
+        TileCostParams p;
+        p.cycle = cycle_config();
+        p.head_dim = d;
+        p.bus_bytes_per_cycle = bus_bytes_per_cycle;
+        p.double_buffer = double_buffer;
+        p.tile_pipelining = tile_pipelining;
+        return p;
     }
 };
 

@@ -31,45 +31,32 @@ QueryShard part_query_bounds(ForEachPart&& for_each_part) {
     return bounds;
 }
 
-/// Sequential cycle accounting shared by every execution path. Tiles are
-/// accounted strictly in schedule order: the double-buffered load overlap
-/// and the inter-tile stage-3 pipelining both depend on the previous tile.
+/// Sequential cycle accounting shared by every execution path, a thin
+/// adapter over the shared TileCostAccountant (sim/tile_costs.hpp — the
+/// same contract the analytic model and the co-simulation kernel replay).
+/// Tiles are accounted strictly in schedule order: the double-buffered load
+/// overlap and the inter-tile stage-3 pipelining both depend on the
+/// previous tile.
 class TileAccountant {
 public:
     TileAccountant(const SaloConfig& config, int head_dim)
-        : config_(&config), head_dim_(head_dim) {}
+        : accountant_(config.tile_cost_params(head_dim)) {}
 
-    void account(const TileTask& tile, const CycleBreakdown& b, SimStats& stats) {
-        std::int64_t compute = b.total();
-        // Inter-tile pipelining: stage 3 of the previous tile overlaps this
-        // tile's systolic stages (no MAC conflict), so it is hidden for
-        // every tile but the first.
-        if (config_->tile_pipelining && !first_tile_) compute -= b.stage[2];
-        const std::int64_t load =
-            (tile_load_bytes(tile, head_dim_) + config_->bus_bytes_per_cycle - 1) /
-            config_->bus_bytes_per_cycle;
-        std::int64_t cycles;
-        if (!config_->double_buffer) {
-            cycles = load + compute;
-        } else if (first_tile_) {
-            cycles = load + compute;  // nothing to overlap with yet
-        } else {
-            // The load of this tile overlapped the previous tile's compute;
-            // stall only for the remainder.
-            cycles = compute + std::max<std::int64_t>(0, load - prev_compute_);
-        }
-        prev_compute_ = compute;
-        first_tile_ = false;
-        stats.cycles += cycles;
+    /// Account one tile; returns its closed-form stage breakdown for the
+    /// caller's activity bookkeeping.
+    const CycleBreakdown& account(const TileTask& tile, SimStats& stats) {
+        const TileCostAccountant::Step step = accountant_.account(tile);
+        stats.cycles += step.cycles;
         ++stats.tiles;
-        for (int s = 0; s < 5; ++s) stats.stage_totals.stage[s] += b.stage[s];
+        for (int s = 0; s < 5; ++s)
+            stats.stage_totals.stage[s] += step.cost.breakdown.stage[s];
+        last_breakdown_ = step.cost.breakdown;
+        return last_breakdown_;
     }
 
 private:
-    const SaloConfig* config_;
-    int head_dim_;
-    std::int64_t prev_compute_ = 0;  // for the double-buffered load overlap
-    bool first_tile_ = true;
+    TileCostAccountant accountant_;
+    CycleBreakdown last_breakdown_;
 };
 
 }  // namespace
@@ -172,8 +159,7 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
                 parts.clear();
                 exec.run(tile, parts, result.stats.activity);
                 for (const TilePart& p : parts) wsm.merge(p);
-                const CycleBreakdown b = tile_cycles(tile, d, ccfg);
-                accountant.account(tile, b, result.stats);
+                const CycleBreakdown& b = accountant.account(tile, result.stats);
                 result.stats.activity.pe_cycles +=
                     static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
             }
@@ -186,8 +172,7 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
                 arena.reset();
                 exec.run(tile, arena, result.stats.activity, scratch);
                 for (std::size_t i = 0; i < arena.used(); ++i) wsm.merge(arena.at(i));
-                const CycleBreakdown b = tile_cycles(tile, d, ccfg);
-                accountant.account(tile, b, result.stats);
+                const CycleBreakdown& b = accountant.account(tile, result.stats);
                 result.stats.activity.pe_cycles +=
                     static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
             }
@@ -200,9 +185,9 @@ HeadResult SaloEngine::run_head_sequential(const SchedulePlan& plan, Fidelity fi
             if (ctl != nullptr) ctl->check(t);
             const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
             parts.clear();
-            const CycleBreakdown b = array.run(tile, parts, result.stats.activity);
+            array.run(tile, parts, result.stats.activity);
             for (const TilePart& p : parts) wsm.merge(p);
-            accountant.account(tile, b, result.stats);
+            accountant.account(tile, result.stats);
         }
     }
 
@@ -310,8 +295,7 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
         });
 
         for (const TileTask& tile : plan.tiles) {
-            const CycleBreakdown b = tile_cycles(tile, d, ccfg);
-            accountant.account(tile, b, result.stats);
+            const CycleBreakdown& b = accountant.account(tile, result.stats);
             result.stats.activity.pe_cycles +=
                 static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
         }
@@ -320,16 +304,13 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
                                        kq, vq);
         ws.tile_parts.resize(static_cast<std::size_t>(num_tiles));
         for (auto& parts : ws.tile_parts) parts.clear();
-        ws.breakdowns.resize(static_cast<std::size_t>(num_tiles));
         std::vector<std::vector<TilePart>>& tile_parts = ws.tile_parts;
-        std::vector<CycleBreakdown>& breakdowns = ws.breakdowns;
 
         workers.parallel_for(num_tiles, [&](int t, int lane) {
             if (ctl != nullptr) ctl->check(t);
             std::vector<TilePart>& parts = tile_parts[static_cast<std::size_t>(t)];
-            breakdowns[static_cast<std::size_t>(t)] =
-                array.run(plan.tiles[static_cast<std::size_t>(t)], parts,
-                          lane_activity[static_cast<std::size_t>(lane)]);
+            array.run(plan.tiles[static_cast<std::size_t>(t)], parts,
+                      lane_activity[static_cast<std::size_t>(lane)]);
             tile_bounds[static_cast<std::size_t>(t)] =
                 part_query_bounds([&](auto&& visit) {
                     for (const TilePart& p : parts) visit(p);
@@ -341,8 +322,7 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
         });
 
         for (int t = 0; t < num_tiles; ++t)
-            accountant.account(plan.tiles[static_cast<std::size_t>(t)],
-                               breakdowns[static_cast<std::size_t>(t)], result.stats);
+            accountant.account(plan.tiles[static_cast<std::size_t>(t)], result.stats);
     }
 
     for (const ActivityStats& a : lane_activity) result.stats.activity += a;

@@ -197,7 +197,6 @@ private:
         std::vector<PartSpan> spans;
         std::vector<ActivityStats> lane_activity;
         std::vector<std::vector<TilePart>> tile_parts;  ///< cycle-accurate path
-        std::vector<CycleBreakdown> breakdowns;         ///< cycle-accurate path
         std::vector<QueryShard> shards;       ///< merge shards, shared across heads
         std::vector<QueryShard> tile_bounds;  ///< per-tile part query range [lo, hi)
     };

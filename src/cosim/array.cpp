@@ -1,0 +1,132 @@
+#include "cosim/array.hpp"
+
+namespace salo::cosim {
+
+ArrayComponent::ArrayComponent(Kernel& kernel, std::string name, int id,
+                               const Params& params, BankedMemory& memory,
+                               BusArbiter& bus)
+    : Component(kernel, std::move(name)),
+      params_(params),
+      id_(id),
+      memory_(&memory),
+      bus_(&bus) {
+    // exec before fetch: exec's acquire publishes the start of tile i so
+    // fetch's acquire can open tile i+1's stream in the same cycle.
+    register_process("exec", [this](CyclePhase phase) { return exec(phase); });
+    register_process("fetch", [this](CyclePhase phase) { return fetch(phase); });
+}
+
+void ArrayComponent::enqueue(const TileCost& cost) {
+    SALO_EXPECTS(kernel().cycle() == 0);
+    SALO_EXPECTS(cost.load_cycles >= 1);
+    SALO_EXPECTS(cost.compute_cycles >= 1);
+    TileWork work;
+    work.compute_cycles = cost.compute_cycles;
+    // Inter-tile stage-3 pipelining hides stage 3 for every tile of this
+    // array but its first — the same per-sequence adjustment
+    // TileCostAccountant applies.
+    if (params_.tile_pipelining && !tiles_.empty())
+        work.compute_cycles -= cost.breakdown.stage[2];
+    SALO_EXPECTS(work.compute_cycles >= 1);
+    work.load_chunks = cost.load_cycles;
+    const std::int64_t beat = bus_->config().beat_bytes;
+    work.wb_beats = (cost.writeback_bytes + beat - 1) / beat;
+    work.breakdown = cost.breakdown;
+    tiles_.push_back(work);
+}
+
+RunState ArrayComponent::exec(CyclePhase phase) {
+    switch (phase) {
+        case CyclePhase::kAcquire:
+            will_start_ = false;
+            if (remaining_ == 0 && !blocked_wb_ &&
+                next_exec_ < static_cast<int>(tiles_.size()) &&
+                next_exec_ < loads_done_) {
+                will_start_ = true;
+                started_through_ = next_exec_;  // visible to fetch this cycle
+            }
+            return RunState::kIdle;
+        case CyclePhase::kCheck:
+            return RunState::kIdle;
+        case CyclePhase::kCommit: {
+            if (blocked_wb_) {
+                const TileWork& t = tiles_[static_cast<std::size_t>(next_exec_)];
+                if (!bus_->try_push(id_, t.wb_beats)) {
+                    ++stats_.wb_stall_cycles;
+                    return RunState::kDeadlock;
+                }
+                blocked_wb_ = false;
+                stats_.tile_finish_cycles.push_back(kernel().cycle());
+                stats_.total_cycles = kernel().cycle() + 1;
+                ++next_exec_;
+                ++done_count_;
+                return RunState::kRunning;
+            }
+            if (will_start_) {
+                const TileWork& t = tiles_[static_cast<std::size_t>(next_exec_)];
+                remaining_ = t.compute_cycles;
+                ++stats_.tiles;
+                for (int s = 0; s < 5; ++s)
+                    stats_.stage_totals.stage[s] += t.breakdown.stage[s];
+            }
+            if (remaining_ > 0) {
+                --remaining_;
+                ++stats_.compute_cycles;
+                if (remaining_ == 0) {
+                    const TileWork& t = tiles_[static_cast<std::size_t>(next_exec_)];
+                    if (t.wb_beats > 0 && !bus_->try_push(id_, t.wb_beats)) {
+                        blocked_wb_ = true;  // retried next cycle as a stall
+                    } else {
+                        stats_.tile_finish_cycles.push_back(kernel().cycle());
+                        stats_.total_cycles = kernel().cycle() + 1;
+                        ++next_exec_;
+                        ++done_count_;
+                    }
+                }
+                return RunState::kRunning;
+            }
+            if (next_exec_ < static_cast<int>(tiles_.size())) {
+                ++stats_.mem_wait_cycles;  // live but operands not resident
+                return RunState::kDeadlock;
+            }
+            return RunState::kIdle;
+        }
+    }
+    return RunState::kIdle;
+}
+
+RunState ArrayComponent::fetch(CyclePhase phase) {
+    switch (phase) {
+        case CyclePhase::kAcquire: {
+            if (stream_ < 0 && fetch_next_ < static_cast<int>(tiles_.size())) {
+                // Double-buffered SRAM: prefetch at most one tile beyond the
+                // tile being computed. Without double buffering the single
+                // buffer is busy until the previous tile fully completes.
+                const bool allowed = params_.double_buffer
+                                         ? fetch_next_ <= started_through_ + 1
+                                         : fetch_next_ <= done_count_;
+                if (allowed)
+                    stream_ = memory_->open_stream(
+                        id_, tiles_[static_cast<std::size_t>(fetch_next_)].load_chunks);
+            }
+            return RunState::kIdle;
+        }
+        case CyclePhase::kCheck:
+            return RunState::kIdle;
+        case CyclePhase::kCommit: {
+            if (stream_ < 0) return RunState::kIdle;
+            if (memory_->stream_done(stream_)) {
+                stream_ = -1;
+                ++loads_done_;
+                ++fetch_next_;
+                return RunState::kRunning;
+            }
+            if (memory_->stream_advanced(stream_)) return RunState::kRunning;
+            ++stats_.fetch_stall_cycles;  // open stream, no chunk this cycle
+            return RunState::kDeadlock;
+        }
+    }
+    return RunState::kIdle;
+}
+
+}  // namespace salo::cosim

@@ -1,0 +1,97 @@
+// One SALO spatial array replayed at tile granularity in the co-simulation.
+//
+// The array does not recompute attention — it replays the per-tile cost
+// contract (sim/tile_costs.hpp) as two coupled processes:
+//
+//   "exec"   occupies the array for the tile's compute cycles once its
+//            operands are resident, then pushes the tile's writeback onto
+//            the shared bus (a full bus FIFO back-pressures the array);
+//   "fetch"  streams the next tile's Q/K/V chunks from BankedMemory into
+//            the double-buffered SRAM — at most one tile ahead of the tile
+//            being computed (or, with double_buffer=false, only after the
+//            previous tile fully completes).
+//
+// Process-order protocol (required for exact closed-form parity): within an
+// array "exec" is registered before "fetch", so when exec's acquire decides
+// to start tile i, fetch's acquire in the SAME cycle sees it and opens tile
+// i+1's stream — the prefetch overlaps all of compute_i, reproducing
+//
+//   cycles_i = compute_i + max(0, load_i - compute_{i-1})
+//
+// exactly when memory is uncontended. The memory and bus components must be
+// registered BEFORE every array (their commits run first, so a load chunk
+// or a freed bus slot is visible to the array in the same cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cosim/bus.hpp"
+#include "cosim/kernel.hpp"
+#include "cosim/memory.hpp"
+#include "sim/tile_costs.hpp"
+
+namespace salo::cosim {
+
+class ArrayComponent : public Component {
+public:
+    struct Params {
+        bool double_buffer = true;
+        bool tile_pipelining = false;
+    };
+
+    struct Stats {
+        std::int64_t tiles = 0;
+        std::int64_t total_cycles = 0;    ///< last tile finish cycle + 1
+        std::int64_t compute_cycles = 0;  ///< cycles the PE array was busy
+        std::int64_t mem_wait_cycles = 0; ///< exec idle, operands not resident
+        std::int64_t fetch_stall_cycles = 0;  ///< stream open, no chunk granted
+        std::int64_t wb_stall_cycles = 0;     ///< finished tile blocked on bus FIFO
+        CycleBreakdown stage_totals;
+        std::vector<std::int64_t> tile_finish_cycles;  ///< per-tile completion cycle
+    };
+
+    ArrayComponent(Kernel& kernel, std::string name, int id, const Params& params,
+                   BankedMemory& memory, BusArbiter& bus);
+
+    /// Queue one tile for replay. Wiring-time only (before the first cycle).
+    void enqueue(const TileCost& cost);
+
+    bool done() const { return done_count_ == static_cast<int>(tiles_.size()); }
+    const Stats& stats() const { return stats_; }
+    int id() const { return id_; }
+
+private:
+    struct TileWork {
+        std::int64_t compute_cycles = 0;  ///< effective (pipelining-adjusted)
+        std::int64_t load_chunks = 0;     ///< fill-port transfers to stream
+        std::int64_t wb_beats = 0;        ///< bus beats to emit on completion
+        CycleBreakdown breakdown;
+    };
+
+    RunState exec(CyclePhase phase);
+    RunState fetch(CyclePhase phase);
+
+    Params params_;
+    int id_;
+    BankedMemory* memory_;
+    BusArbiter* bus_;
+    Stats stats_;
+    std::vector<TileWork> tiles_;
+
+    // exec state
+    int next_exec_ = 0;          ///< tile index to start next
+    std::int64_t remaining_ = 0; ///< cycles left in the in-flight tile
+    bool will_start_ = false;    ///< acquire-phase start decision
+    bool blocked_wb_ = false;    ///< finished tile waiting for a bus slot
+    int started_through_ = -1;   ///< highest tile index whose compute started
+    int done_count_ = 0;
+
+    // fetch state
+    int fetch_next_ = 0;   ///< tile index to stream next
+    int loads_done_ = 0;   ///< tiles fully resident in SRAM
+    int stream_ = -1;      ///< open BankedMemory stream handle, -1 if none
+};
+
+}  // namespace salo::cosim

@@ -1,0 +1,111 @@
+#include "cosim/bus.hpp"
+
+namespace salo::cosim {
+
+void BusArbiter::Config::validate() const {
+    if (beat_bytes < 1)
+        throw ContractViolation("BusArbiter: beat_bytes must be >= 1 (got " +
+                                std::to_string(beat_bytes) + ")");
+    if (beats_per_cycle < 1)
+        throw ContractViolation("BusArbiter: beats_per_cycle must be >= 1 (got " +
+                                std::to_string(beats_per_cycle) + ")");
+    if (queue_capacity < 1)
+        throw ContractViolation("BusArbiter: queue_capacity must be >= 1 (got " +
+                                std::to_string(queue_capacity) + ")");
+}
+
+BusArbiter::BusArbiter(Kernel& kernel, std::string name, const Config& config,
+                       int num_clients)
+    : Component(kernel, std::move(name)), config_(config) {
+    config_.validate();
+    SALO_EXPECTS(num_clients >= 1);
+    queues_.resize(static_cast<std::size_t>(num_clients));
+    grants_.reserve(static_cast<std::size_t>(config_.beats_per_cycle));
+    register_process("grant", [this](CyclePhase phase) { return grant(phase); });
+}
+
+bool BusArbiter::try_push(int client, std::int64_t beats) {
+    SALO_EXPECTS(client >= 0 && client < static_cast<int>(queues_.size()));
+    SALO_EXPECTS(beats >= 1);
+    auto& q = queues_[static_cast<std::size_t>(client)];
+    if (static_cast<int>(q.size()) >= config_.queue_capacity) return false;
+    q.push_back({beats, kernel().cycle()});
+    return true;
+}
+
+std::size_t BusArbiter::queue_depth(int client) const {
+    SALO_EXPECTS(client >= 0 && client < static_cast<int>(queues_.size()));
+    return queues_[static_cast<std::size_t>(client)].size();
+}
+
+bool BusArbiter::drained() const {
+    for (const auto& q : queues_)
+        if (!q.empty()) return false;
+    return true;
+}
+
+void BusArbiter::arbitrate() {
+    grants_.clear();
+    requesters_ = 0;
+    const int n = static_cast<int>(queues_.size());
+    // Remaining grantable beats per client this cycle (across transactions).
+    std::vector<std::int64_t> pending(static_cast<std::size_t>(n), 0);
+    for (int c = 0; c < n; ++c) {
+        for (const Transaction& t : queues_[static_cast<std::size_t>(c)])
+            pending[static_cast<std::size_t>(c)] += t.beats_left;
+        if (pending[static_cast<std::size_t>(c)] > 0) ++requesters_;
+    }
+    if (requesters_ == 0) return;
+
+    for (int lane = 0; lane < config_.beats_per_cycle; ++lane) {
+        int pick = -1;
+        if (config_.policy == Arbitration::kRoundRobin) {
+            for (int i = 0; i < n; ++i) {
+                const int c = (rr_ptr_ + i) % n;
+                if (pending[static_cast<std::size_t>(c)] > 0) {
+                    pick = c;
+                    break;
+                }
+            }
+            if (pick >= 0) rr_ptr_ = (pick + 1) % n;
+        } else {  // kOldestFirst: oldest head transaction wins, ties to lowest id
+            std::int64_t best = 0;
+            for (int c = 0; c < n; ++c) {
+                if (pending[static_cast<std::size_t>(c)] == 0) continue;
+                const auto& q = queues_[static_cast<std::size_t>(c)];
+                if (pick < 0 || q.front().enqueued_cycle < best) {
+                    pick = c;
+                    best = q.front().enqueued_cycle;
+                }
+            }
+        }
+        if (pick < 0) break;
+        --pending[static_cast<std::size_t>(pick)];
+        grants_.push_back(pick);
+    }
+}
+
+RunState BusArbiter::grant(CyclePhase phase) {
+    switch (phase) {
+        case CyclePhase::kAcquire:
+        case CyclePhase::kCheck:
+            return RunState::kIdle;
+        case CyclePhase::kCommit: {
+            if (grants_.empty()) return RunState::kIdle;
+            for (int client : grants_) {
+                auto& q = queues_[static_cast<std::size_t>(client)];
+                Transaction& t = q.front();
+                --t.beats_left;
+                ++stats_.beats_granted;
+                if (t.beats_left == 0) q.pop_front();
+            }
+            ++stats_.busy_cycles;
+            if (requesters_ > 1) ++stats_.contended_cycles;
+            grants_.clear();
+            return RunState::kRunning;
+        }
+    }
+    return RunState::kIdle;
+}
+
+}  // namespace salo::cosim

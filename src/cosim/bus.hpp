@@ -1,0 +1,72 @@
+// Shared writeback bus connecting the arrays' output ports to the
+// weighted-sum / output stage.
+//
+// Each client (array) owns a small FIFO of pending writeback transactions;
+// a transaction is `beats` bus beats of `beat_bytes` each. The bus grants
+// up to `beats_per_cycle` beats per cycle across all clients (a wider
+// output bus has more lanes), each chosen by a pluggable policy
+// (round-robin pointer or oldest-head-first). A full FIFO rejects
+// try_push — the array then stalls its exec process (wb backpressure),
+// which is how output-bandwidth limits propagate into tile timing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cosim/kernel.hpp"
+
+namespace salo::cosim {
+
+class BusArbiter : public Component, public Arbitrator {
+public:
+    struct Config {
+        int beat_bytes = 64;
+        int beats_per_cycle = 1;  ///< bus lanes: total grant bandwidth
+        int queue_capacity = 4;   ///< per-client pending transactions
+        Arbitration policy = Arbitration::kRoundRobin;
+
+        void validate() const;
+    };
+
+    struct Stats {
+        std::int64_t beats_granted = 0;
+        std::int64_t busy_cycles = 0;       ///< cycles with a grant
+        std::int64_t contended_cycles = 0;  ///< grant cycles with > 1 requester
+    };
+
+    BusArbiter(Kernel& kernel, std::string name, const Config& config, int num_clients);
+
+    /// Enqueue a `beats`-beat writeback for `client`. Returns false when the
+    /// client's FIFO is at capacity (caller must retry next cycle).
+    bool try_push(int client, std::int64_t beats);
+
+    /// Pending transactions in `client`'s FIFO.
+    std::size_t queue_depth(int client) const;
+
+    /// True when every FIFO is empty (all writebacks drained).
+    bool drained() const;
+
+    void arbitrate() override;
+
+    const Config& config() const { return config_; }
+    const Stats& stats() const { return stats_; }
+
+private:
+    struct Transaction {
+        std::int64_t beats_left = 0;
+        std::int64_t enqueued_cycle = 0;
+    };
+
+    RunState grant(CyclePhase phase);
+
+    Config config_;
+    Stats stats_;
+    std::vector<std::deque<Transaction>> queues_;  // per client
+    int rr_ptr_ = 0;
+    std::vector<int> grants_;  ///< this cycle's granted clients, one per beat
+    int requesters_ = 0;
+};
+
+}  // namespace salo::cosim

@@ -1,0 +1,84 @@
+#include "cosim/kernel.hpp"
+
+namespace salo::cosim {
+
+const char* to_string(RunState state) {
+    switch (state) {
+        case RunState::kIdle: return "idle";
+        case RunState::kRunning: return "running";
+        case RunState::kDeadlock: return "deadlock";
+        case RunState::kAborted: return "aborted";
+    }
+    return "?";
+}
+
+const char* to_string(Arbitration policy) {
+    switch (policy) {
+        case Arbitration::kRoundRobin: return "round-robin";
+        case Arbitration::kOldestFirst: return "oldest-first";
+    }
+    return "?";
+}
+
+Component::Component(Kernel& kernel, std::string name)
+    : kernel_(&kernel), name_(std::move(name)) {}
+
+void Component::register_process(const std::string& process_name,
+                                 std::function<RunState(CyclePhase)> fn) {
+    SALO_EXPECTS(fn != nullptr);
+    kernel_->register_process({name_ + "/" + process_name, std::move(fn), RunState::kIdle});
+}
+
+void Kernel::register_process(ProcessInfo info) {
+    // Registration is wiring-time only: adding processes mid-run would make
+    // the phase order (and therefore results) depend on *when* they joined.
+    SALO_EXPECTS(cycle_ == 0);
+    processes_.push_back(std::move(info));
+}
+
+void Kernel::register_arbitrator(Arbitrator* arbitrator) {
+    SALO_EXPECTS(arbitrator != nullptr);
+    SALO_EXPECTS(cycle_ == 0);
+    arbitrators_.push_back(arbitrator);
+}
+
+RunState Kernel::step() {
+    SALO_EXPECTS(!processes_.empty());
+    for (ProcessInfo& p : processes_) p.fn(CyclePhase::kAcquire);
+    for (Arbitrator* a : arbitrators_) a->arbitrate();
+    for (ProcessInfo& p : processes_) p.fn(CyclePhase::kCheck);
+    int running = 0;
+    int stalled = 0;
+    for (ProcessInfo& p : processes_) {
+        p.last = p.fn(CyclePhase::kCommit);
+        if (p.last == RunState::kRunning) ++running;
+        if (p.last == RunState::kDeadlock) ++stalled;
+    }
+    ++cycle_;
+    if (running > 0)
+        state_ = RunState::kRunning;
+    else if (stalled > 0)
+        state_ = RunState::kDeadlock;  // live processes exist but none committed
+    else
+        state_ = RunState::kIdle;
+    return state_;
+}
+
+RunState Kernel::run(std::int64_t max_cycles) {
+    SALO_EXPECTS(max_cycles > 0);
+    for (std::int64_t i = 0; i < max_cycles; ++i) {
+        const RunState s = step();
+        if (s != RunState::kRunning) return s;
+    }
+    state_ = RunState::kAborted;
+    return state_;
+}
+
+std::vector<std::string> Kernel::stuck_processes() const {
+    std::vector<std::string> stuck;
+    for (const ProcessInfo& p : processes_)
+        if (p.last == RunState::kDeadlock) stuck.push_back(p.name);
+    return stuck;
+}
+
+}  // namespace salo::cosim

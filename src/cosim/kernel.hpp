@@ -1,0 +1,139 @@
+// Deterministic event-driven co-simulation kernel (mgsim-style phases).
+//
+// Components register named *processes* with the kernel; every simulated
+// cycle the kernel advances all processes through three phases:
+//
+//   kAcquire  processes post their wishes for the cycle (open a memory
+//             stream, declare a compute start, ...) — per-cycle request
+//             state only, no architectural mutation;
+//   (arbitrate) registered arbitrators resolve this cycle's contended
+//             resources (memory banks/channels, the writeback bus) from
+//             the posted requests — deterministically;
+//   kCheck    processes observe grants and verify they can proceed;
+//   kCommit   processes mutate architectural state and report a RunState.
+//
+// The commit tally drives deadlock detection exactly as in mgsim's Kernel:
+// a process with work that cannot advance reports kDeadlock for the cycle;
+// if *some* process committed (kRunning) the system is live and the stalls
+// are ordinary contention, but if live (stalled) processes exist and none
+// committed, nothing can ever change in a closed deterministic system —
+// the kernel stops and reports STATE kDeadlock with the stuck process
+// names. All-idle means quiescence.
+//
+// Determinism contract: processes run in registration order in every phase,
+// arbitrators resolve in registration order with explicitly ordered
+// policies, and no container is keyed on pointers — two runs of the same
+// component graph and inputs are bit-identical (asserted by
+// tests/test_cosim_multiarray.cpp and the bench_multiarray gate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace salo::cosim {
+
+/// Phases inside one simulated cycle.
+enum class CyclePhase { kAcquire, kCheck, kCommit };
+
+/// Per-cycle run state of a process, and the aggregate state of the kernel.
+enum class RunState {
+    kIdle,      ///< no work (process) / all processes idle (kernel: quiesced)
+    kRunning,   ///< committed forward progress this cycle
+    kDeadlock,  ///< has work but cannot continue (kernel: none could commit)
+    kAborted,   ///< kernel only: max_cycles exhausted before quiescence
+};
+
+const char* to_string(RunState state);
+
+/// Arbitration policies shared by the contended resources.
+enum class Arbitration {
+    kRoundRobin,   ///< rotating priority pointer over requesters
+    kOldestFirst,  ///< oldest outstanding request wins; ties to lowest id
+};
+
+const char* to_string(Arbitration policy);
+
+class Kernel;
+
+/// A named simulation object owning one or more registered processes.
+/// Components must outlive the kernel's run.
+class Component {
+public:
+    Component(Kernel& kernel, std::string name);
+    virtual ~Component() = default;
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    const std::string& name() const { return name_; }
+
+protected:
+    Kernel& kernel() const { return *kernel_; }
+
+    /// Register a process under "<component>/<process_name>". Processes run
+    /// in registration order in every phase — ordering is part of the
+    /// component protocol (e.g. a producer's acquire must precede its
+    /// consumer's acquire when same-cycle visibility is required).
+    void register_process(const std::string& process_name,
+                          std::function<RunState(CyclePhase)> fn);
+
+private:
+    Kernel* kernel_;
+    std::string name_;
+};
+
+/// A contended resource that resolves the cycle's requests between the
+/// acquire and check phases.
+class Arbitrator {
+public:
+    virtual ~Arbitrator() = default;
+    /// Deterministically pick this cycle's grants from posted requests.
+    virtual void arbitrate() = 0;
+};
+
+class Kernel {
+public:
+    /// Advance one cycle (acquire, arbitrate, check, commit); returns the
+    /// aggregate state of the commit tally.
+    RunState step();
+
+    /// Step until quiescence (kIdle), deadlock, or `max_cycles` elapsed
+    /// (kAborted). max_cycles must be positive.
+    RunState run(std::int64_t max_cycles);
+
+    /// Cycle counter: during a phase callback this is the index of the
+    /// cycle being executed (first cycle = 0); after step() it is the
+    /// number of completed cycles.
+    std::int64_t cycle() const { return cycle_; }
+
+    RunState state() const { return state_; }
+
+    /// Names of the processes that reported kDeadlock in the last committed
+    /// cycle — the stuck set when state() == kDeadlock.
+    std::vector<std::string> stuck_processes() const;
+
+    std::size_t num_processes() const { return processes_.size(); }
+
+    void register_arbitrator(Arbitrator* arbitrator);
+
+private:
+    friend class Component;
+
+    struct ProcessInfo {
+        std::string name;  ///< "<component>/<process>"
+        std::function<RunState(CyclePhase)> fn;
+        RunState last = RunState::kIdle;
+    };
+
+    void register_process(ProcessInfo info);
+
+    std::vector<ProcessInfo> processes_;
+    std::vector<Arbitrator*> arbitrators_;
+    std::int64_t cycle_ = 0;
+    RunState state_ = RunState::kIdle;
+};
+
+}  // namespace salo::cosim

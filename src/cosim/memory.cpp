@@ -1,0 +1,129 @@
+#include "cosim/memory.hpp"
+
+#include <algorithm>
+
+namespace salo::cosim {
+
+void BankedMemory::Config::validate() const {
+    if (num_banks < 1)
+        throw ContractViolation("BankedMemory: num_banks must be >= 1 (got " +
+                                std::to_string(num_banks) + ")");
+    if (num_channels < 1)
+        throw ContractViolation("BankedMemory: num_channels must be >= 1 (got " +
+                                std::to_string(num_channels) + ")");
+    if (num_channels > num_banks)
+        throw ContractViolation("BankedMemory: num_channels must be <= num_banks (got " +
+                                std::to_string(num_channels) + " > " +
+                                std::to_string(num_banks) + ")");
+}
+
+BankedMemory::BankedMemory(Kernel& kernel, std::string name, const Config& config,
+                           int num_clients)
+    : Component(kernel, std::move(name)), config_(config) {
+    config_.validate();
+    SALO_EXPECTS(num_clients >= 1);
+    client_bank_ptr_.assign(static_cast<std::size_t>(num_clients), 0);
+    bank_taken_.assign(static_cast<std::size_t>(config_.num_banks), 0);
+    channel_taken_.assign(static_cast<std::size_t>(config_.num_channels), 0);
+    register_process("serve", [this](CyclePhase phase) { return serve(phase); });
+}
+
+int BankedMemory::open_stream(int client, std::int64_t chunks) {
+    SALO_EXPECTS(client >= 0 &&
+                 client < static_cast<int>(client_bank_ptr_.size()));
+    SALO_EXPECTS(chunks >= 1);
+    Stream s;
+    s.client = client;
+    s.chunks_left = chunks;
+    s.next_bank = client_bank_ptr_[static_cast<std::size_t>(client)];
+    s.opened_cycle = kernel().cycle();
+    const int id = static_cast<int>(streams_.size());
+    streams_.push_back(s);
+    active_.push_back(id);
+    return id;
+}
+
+bool BankedMemory::stream_done(int stream) const {
+    SALO_EXPECTS(stream >= 0 && stream < static_cast<int>(streams_.size()));
+    return streams_[static_cast<std::size_t>(stream)].chunks_left == 0;
+}
+
+bool BankedMemory::stream_advanced(int stream) const {
+    SALO_EXPECTS(stream >= 0 && stream < static_cast<int>(streams_.size()));
+    return streams_[static_cast<std::size_t>(stream)].last_advance_cycle ==
+           kernel().cycle();
+}
+
+void BankedMemory::arbitrate() {
+    std::fill(bank_taken_.begin(), bank_taken_.end(), std::uint8_t{0});
+    std::fill(channel_taken_.begin(), channel_taken_.end(), std::uint8_t{0});
+    if (active_.empty()) return;
+
+    // Build this cycle's candidate order from the policy. `active_` holds
+    // stream ids in open order, so id order == (opened_cycle, seq) order.
+    std::vector<int> order = active_;
+    if (config_.policy == Arbitration::kRoundRobin && !order.empty()) {
+        const int n = static_cast<int>(order.size());
+        std::rotate(order.begin(), order.begin() + (rr_offset_ % n), order.end());
+        rr_offset_ = (rr_offset_ + 1) % std::max(1, n);
+    }
+    for (int id : order) {
+        Stream& s = streams_[static_cast<std::size_t>(id)];
+        const int bank = s.next_bank;
+        const int channel = bank % config_.num_channels;
+        if (bank_taken_[static_cast<std::size_t>(bank)] != 0) {
+            ++stats_.bank_conflicts;
+            continue;
+        }
+        if (channel_taken_[static_cast<std::size_t>(channel)] != 0) {
+            ++stats_.channel_conflicts;
+            continue;
+        }
+        bank_taken_[static_cast<std::size_t>(bank)] = 1;
+        channel_taken_[static_cast<std::size_t>(channel)] = 1;
+        s.granted = true;
+    }
+}
+
+RunState BankedMemory::serve(CyclePhase phase) {
+    switch (phase) {
+        case CyclePhase::kAcquire:
+            for (int id : active_) streams_[static_cast<std::size_t>(id)].granted = false;
+            return RunState::kIdle;
+        case CyclePhase::kCheck:
+            return RunState::kIdle;
+        case CyclePhase::kCommit: {
+            bool any = false;
+            for (std::size_t i = 0; i < active_.size();) {
+                const int id = active_[i];
+                Stream& s = streams_[static_cast<std::size_t>(id)];
+                if (!s.granted) {
+                    ++i;
+                    continue;
+                }
+                any = true;
+                ++stats_.chunks_served;
+                --s.chunks_left;
+                s.next_bank = (s.next_bank + 1) % config_.num_banks;
+                client_bank_ptr_[static_cast<std::size_t>(s.client)] = s.next_bank;
+                s.last_advance_cycle = kernel().cycle();
+                s.granted = false;
+                if (s.chunks_left == 0) {
+                    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+                } else {
+                    ++i;
+                }
+            }
+            if (any) {
+                ++stats_.busy_cycles;
+                return RunState::kRunning;
+            }
+            // A memory with pending streams but no grant never deadlocks on
+            // its own — the stall is charged to the waiting client.
+            return RunState::kIdle;
+        }
+    }
+    return RunState::kIdle;
+}
+
+}  // namespace salo::cosim

@@ -1,0 +1,87 @@
+// Banked HBM-style memory model serving the arrays' Q/K/V tile loads.
+//
+// A tile load is a *stream*: `chunks` fill-port-width transfers striped
+// round-robin across banks, starting at the client's rolling bank pointer
+// (consecutive tiles of one array continue the stripe). Per cycle:
+//
+//   * a stream receives at most one chunk (the array's SRAM fill port is
+//     one chunk wide — this is what makes an uncontended single array
+//     match the closed-form load model exactly);
+//   * a bank serves at most one chunk (a second stream whose next chunk
+//     maps to the same bank records a bank conflict and stalls);
+//   * a channel serves at most one chunk (bank b belongs to channel
+//     b % num_channels); total bandwidth is therefore num_channels chunks
+//     per cycle — the knob the bench_multiarray bandwidth sweep turns.
+//
+// Requests are posted in the acquire phase, granted in arbitrate() under a
+// pluggable policy, and applied in this component's commit. The component
+// never reports kDeadlock: it is a server, idle when no stream is pending.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cosim/kernel.hpp"
+
+namespace salo::cosim {
+
+class BankedMemory : public Component, public Arbitrator {
+public:
+    struct Config {
+        int num_banks = 8;
+        int num_channels = 2;
+        Arbitration policy = Arbitration::kOldestFirst;
+
+        void validate() const;
+    };
+
+    struct Stats {
+        std::int64_t chunks_served = 0;
+        std::int64_t busy_cycles = 0;        ///< cycles with >= 1 grant
+        std::int64_t bank_conflicts = 0;     ///< denials: bank already granted
+        std::int64_t channel_conflicts = 0;  ///< denials: channel saturated
+    };
+
+    BankedMemory(Kernel& kernel, std::string name, const Config& config, int num_clients);
+
+    /// Open a streaming load of `chunks` fill-port transfers for `client`.
+    /// Call from a client's acquire phase; the first chunk is eligible for
+    /// a grant in the same cycle. Returns a stream handle.
+    int open_stream(int client, std::int64_t chunks);
+
+    /// All chunks delivered (valid from the memory's commit of the final
+    /// chunk's cycle onward — clients must be registered after the memory).
+    bool stream_done(int stream) const;
+
+    /// The stream was granted a chunk in the current cycle.
+    bool stream_advanced(int stream) const;
+
+    void arbitrate() override;
+
+    const Config& config() const { return config_; }
+    const Stats& stats() const { return stats_; }
+
+private:
+    struct Stream {
+        int client = -1;
+        std::int64_t chunks_left = 0;
+        int next_bank = 0;
+        std::int64_t opened_cycle = 0;
+        std::int64_t last_advance_cycle = -1;
+        bool granted = false;  ///< this cycle's arbitration outcome
+    };
+
+    RunState serve(CyclePhase phase);
+
+    Config config_;
+    Stats stats_;
+    std::vector<Stream> streams_;       // stable handles; never reclaimed
+    std::vector<int> active_;           // stream ids with chunks_left > 0
+    std::vector<int> client_bank_ptr_;  // per-client rolling stripe start
+    std::vector<std::uint8_t> bank_taken_;     // per-cycle arbitration scratch
+    std::vector<std::uint8_t> channel_taken_;  // per-cycle arbitration scratch
+    int rr_offset_ = 0;
+};
+
+}  // namespace salo::cosim

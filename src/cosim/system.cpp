@@ -1,0 +1,51 @@
+#include "cosim/system.hpp"
+
+namespace salo::cosim {
+
+namespace {
+CosimConfig validated(CosimConfig config) {
+    config.validate();
+    return config;
+}
+}  // namespace
+
+MultiArraySystem::MultiArraySystem(const CosimConfig& config)
+    : config_(validated(config)),
+      memory_(kernel_, "mem", config_.memory, config_.num_arrays),
+      bus_(kernel_, "bus", config_.bus, config_.num_arrays) {
+    kernel_.register_arbitrator(&memory_);
+    kernel_.register_arbitrator(&bus_);
+    ArrayComponent::Params params;
+    params.double_buffer = config_.costs.double_buffer;
+    params.tile_pipelining = config_.costs.tile_pipelining;
+    arrays_.reserve(static_cast<std::size_t>(config_.num_arrays));
+    for (int i = 0; i < config_.num_arrays; ++i)
+        arrays_.push_back(std::make_unique<ArrayComponent>(
+            kernel_, "array" + std::to_string(i), i, params, memory_, bus_));
+}
+
+void MultiArraySystem::enqueue(int array, const TileCost& cost) {
+    SALO_EXPECTS(array >= 0 && array < num_arrays());
+    arrays_[static_cast<std::size_t>(array)]->enqueue(cost);
+    const std::int64_t beat = config_.bus.beat_bytes;
+    serial_bound_ += cost.load_cycles + cost.compute_cycles +
+                     (cost.writeback_bytes + beat - 1) / beat + 4;
+}
+
+CosimReport MultiArraySystem::run() {
+    std::int64_t budget = config_.max_cycles;
+    if (budget == 0) budget = serial_bound_ + 1024;  // auto: serialized + margin
+    CosimReport report;
+    report.final_state = kernel_.run(budget);
+    report.makespan_cycles = kernel_.cycle();
+    report.arrays.reserve(arrays_.size());
+    for (const auto& a : arrays_) report.arrays.push_back(a->stats());
+    report.memory = memory_.stats();
+    report.bus = bus_.stats();
+    if (report.final_state == RunState::kDeadlock ||
+        report.final_state == RunState::kAborted)
+        report.stuck = kernel_.stuck_processes();
+    return report;
+}
+
+}  // namespace salo::cosim

@@ -1,0 +1,114 @@
+// MultiArraySystem: N SALO arrays sharing one banked memory and one
+// writeback bus, wired onto the deterministic co-simulation kernel.
+//
+// Construction order is the registration order and therefore part of the
+// timing contract: memory first, bus second, arrays last — resource
+// commits run before array commits each cycle, so a served chunk or a
+// freed bus slot is visible to the arrays in the cycle it happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "cosim/array.hpp"
+#include "cosim/bus.hpp"
+#include "cosim/kernel.hpp"
+#include "cosim/memory.hpp"
+#include "sim/tile_costs.hpp"
+
+namespace salo::cosim {
+
+struct CosimConfig {
+    int num_arrays = 1;
+    TileCostParams costs;          ///< shared tile-cost contract
+    BankedMemory::Config memory;
+    BusArbiter::Config bus;
+    /// Simulation budget; 0 = auto (fully serialized execution of every
+    /// enqueued tile plus margin — any live system finishes well within it,
+    /// so hitting the budget means a real deadlock/livelock, not tuning).
+    std::int64_t max_cycles = 0;
+
+    void validate() const {
+        if (num_arrays < 1)
+            throw ContractViolation("CosimConfig: num_arrays must be >= 1 (got " +
+                                    std::to_string(num_arrays) + ")");
+        if (max_cycles < 0)
+            throw ContractViolation("CosimConfig: max_cycles must be >= 0 (got " +
+                                    std::to_string(max_cycles) + ")");
+        costs.validate();
+        memory.validate();
+        bus.validate();
+    }
+};
+
+struct CosimReport {
+    RunState final_state = RunState::kIdle;
+    std::int64_t makespan_cycles = 0;  ///< cycles until quiescence (bus drained)
+    std::vector<ArrayComponent::Stats> arrays;
+    BankedMemory::Stats memory;
+    BusArbiter::Stats bus;
+    std::vector<std::string> stuck;  ///< stuck process names when deadlocked
+
+    /// Slowest array's total (the parallel completion time of the compute,
+    /// excluding the final writeback drain).
+    std::int64_t max_array_cycles() const {
+        std::int64_t m = 0;
+        for (const auto& a : arrays)
+            if (a.total_cycles > m) m = a.total_cycles;
+        return m;
+    }
+
+    /// Order-sensitive digest over every counter — two runs of the same
+    /// configuration must produce equal fingerprints (the determinism gate).
+    std::uint64_t fingerprint() const {
+        Fnv1a h;
+        h.mix(static_cast<int>(final_state));
+        h.mix(makespan_cycles);
+        h.mix(static_cast<std::int64_t>(arrays.size()));
+        for (const auto& a : arrays) {
+            h.mix(a.tiles);
+            h.mix(a.total_cycles);
+            h.mix(a.compute_cycles);
+            h.mix(a.mem_wait_cycles);
+            h.mix(a.fetch_stall_cycles);
+            h.mix(a.wb_stall_cycles);
+            for (int s = 0; s < 5; ++s) h.mix(a.stage_totals.stage[s]);
+            h.mix(static_cast<std::int64_t>(a.tile_finish_cycles.size()));
+            for (std::int64_t c : a.tile_finish_cycles) h.mix(c);
+        }
+        h.mix(memory.chunks_served);
+        h.mix(memory.busy_cycles);
+        h.mix(memory.bank_conflicts);
+        h.mix(memory.channel_conflicts);
+        h.mix(bus.beats_granted);
+        h.mix(bus.busy_cycles);
+        h.mix(bus.contended_cycles);
+        return h.digest();
+    }
+};
+
+class MultiArraySystem {
+public:
+    explicit MultiArraySystem(const CosimConfig& config);
+
+    /// Queue a tile onto array `array` (wiring-time, before run()).
+    void enqueue(int array, const TileCost& cost);
+
+    /// Run to quiescence (or deadlock / budget abort) and report.
+    CosimReport run();
+
+    int num_arrays() const { return static_cast<int>(arrays_.size()); }
+
+private:
+    CosimConfig config_;
+    Kernel kernel_;
+    BankedMemory memory_;
+    BusArbiter bus_;
+    std::vector<std::unique_ptr<ArrayComponent>> arrays_;
+    std::int64_t serial_bound_ = 0;  ///< serialized upper bound for auto budget
+};
+
+}  // namespace salo::cosim

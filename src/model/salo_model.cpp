@@ -6,30 +6,17 @@ namespace salo {
 
 SimStats estimate_head_stats(const SchedulePlan& plan, const SaloConfig& config) {
     SimStats stats;
-    const CycleConfig ccfg = config.cycle_config();
-    std::int64_t prev_compute = 0;
-    bool first_tile = true;
+    TileCostAccountant accountant(config.tile_cost_params(plan.head_dim));
     for (const TileTask& tile : plan.tiles) {
-        const CycleBreakdown b = tile_cycles(tile, plan.head_dim, ccfg);
-        std::int64_t compute = b.total();
-        if (config.tile_pipelining && !first_tile) compute -= b.stage[2];
-        const std::int64_t load =
-            (tile_load_bytes(tile, plan.head_dim) + config.bus_bytes_per_cycle - 1) /
-            config.bus_bytes_per_cycle;
-        std::int64_t cycles;
-        if (!config.double_buffer || first_tile)
-            cycles = load + compute;
-        else
-            cycles = compute + std::max<std::int64_t>(0, load - prev_compute);
-        prev_compute = compute;
-        first_tile = false;
-        stats.cycles += cycles;
+        const TileCostAccountant::Step step = accountant.account(tile);
+        stats.cycles += step.cycles;
         ++stats.tiles;
-        for (int s = 0; s < 5; ++s) stats.stage_totals.stage[s] += b.stage[s];
+        for (int s = 0; s < 5; ++s)
+            stats.stage_totals.stage[s] += step.cost.breakdown.stage[s];
         stats.activity.valid_slots += tile.num_valid_slots();
         stats.activity.array_slots += static_cast<std::int64_t>(tile.rows()) * tile.cols();
         stats.activity.pe_cycles +=
-            static_cast<std::int64_t>(tile.rows()) * tile.cols() * compute;
+            static_cast<std::int64_t>(tile.rows()) * tile.cols() * step.compute_cycles;
         // Useful MACs: every pattern element costs d MACs in stage 1 and d
         // in stage 5 (window slots, global-column and global-row elements).
         std::int64_t elements = tile.num_valid_slots();

@@ -16,6 +16,7 @@ CycleAccurateArray::CycleAccurateArray(const ArrayGeometry& geometry,
     : geometry_(geometry), cycle_config_(cycle_config), exp_unit_(&exp_unit),
       recip_unit_(&recip_unit), q_(&q), k_(&k), v_(&v) {
     geometry_.validate();
+    cycle_config_.validate();
     SALO_EXPECTS(q.cols() == k.cols() && k.rows() == v.rows() && k.cols() == v.cols());
 }
 

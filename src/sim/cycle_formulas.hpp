@@ -6,6 +6,9 @@
 // they agree.
 #pragma once
 
+#include <string>
+
+#include "common/assert.hpp"
 #include "numeric/reciprocal.hpp"
 #include "scheduler/geometry.hpp"
 #include "scheduler/tile.hpp"
@@ -19,6 +22,31 @@ struct CycleConfig {
     int stage4_cycles = 1;   ///< stage 4: parallel multiply
     int wsm_cycles = 2;      ///< stage 5 tail: weighted-sum module pipeline
     Reciprocal::Config recip;///< stage 3: reciprocal unit latency
+
+    /// Reject non-physical stage latencies with a ContractViolation naming
+    /// the offending field. A zero or negative stage count silently deflates
+    /// every cycle total downstream (formulas, engine accounting, co-sim),
+    /// so every consumer of a CycleConfig validates at construction.
+    void validate() const {
+        auto at_least = [](const char* field, int value, int min) {
+            if (value < min)
+                throw ContractViolation("CycleConfig: " + std::string(field) +
+                                        " must be >= " + std::to_string(min) + " (got " +
+                                        std::to_string(value) + ")");
+        };
+        at_least("exp_cycles", exp_cycles, 1);
+        at_least("broadcast_cycles", broadcast_cycles, 1);
+        at_least("stage4_cycles", stage4_cycles, 1);
+        at_least("wsm_cycles", wsm_cycles, 0);
+        // Mirror the Reciprocal unit's own construction bounds so a bad
+        // latency config fails here, by name, not in the unit's assert.
+        if (recip.nr_iters < 0 || recip.nr_iters > 6)
+            throw ContractViolation("CycleConfig: recip.nr_iters must be in [0, 6] (got " +
+                                    std::to_string(recip.nr_iters) + ")");
+        if (recip.lut_bits < 1 || recip.lut_bits > 12)
+            throw ContractViolation("CycleConfig: recip.lut_bits must be in [1, 12] (got " +
+                                    std::to_string(recip.lut_bits) + ")");
+    }
 };
 
 /// Cycle counts for one tile with head dimension d.

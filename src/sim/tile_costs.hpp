@@ -1,0 +1,163 @@
+// Per-tile cost extraction and sequential cycle accounting — the contract
+// shared by the execution engine, the analytic performance model and the
+// event-driven co-simulation kernel (src/cosim/).
+//
+// tile_cost() reduces one TileTask to the numbers every cycle model needs:
+// the closed-form stage breakdown, the input-load footprint, and a
+// structural writeback estimate. TileCostAccountant then applies the
+// sequential double-buffered load-overlap recurrence the engine has always
+// used:
+//
+//   cycles_0 = load_0 + compute_0
+//   cycles_i = compute_i + max(0, load_i - compute_{i-1})   (double-buffered)
+//
+// The co-simulation ArrayComponent reproduces exactly this recurrence from
+// first principles (a fetch process streaming chunks from memory overlapped
+// with a compute process), so a single uncontended array's co-simulated
+// total must equal TileCostAccountant's total bit-for-bit — the parity gate
+// of bench_multiarray and tests/test_cosim_parity.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "scheduler/scheduler.hpp"
+#include "scheduler/tile.hpp"
+#include "sim/cycle_formulas.hpp"
+#include "sim/parts.hpp"
+
+namespace salo {
+
+/// Everything the sequential cycle accounting depends on, decoupled from
+/// SaloConfig so src/sim and src/cosim need not see the core layer.
+struct TileCostParams {
+    CycleConfig cycle;
+    int head_dim = 64;
+    int bus_bytes_per_cycle = 64;  ///< fill-port width of the double-buffered SRAMs
+    bool double_buffer = true;
+    bool tile_pipelining = false;
+
+    void validate() const {
+        cycle.validate();
+        if (head_dim < 1)
+            throw ContractViolation("TileCostParams: head_dim must be positive (got " +
+                                    std::to_string(head_dim) + ")");
+        if (bus_bytes_per_cycle < 1)
+            throw ContractViolation(
+                "TileCostParams: bus_bytes_per_cycle must be positive (got " +
+                std::to_string(bus_bytes_per_cycle) + ")");
+    }
+};
+
+/// Context-free costs of one tile: no sequential (overlap) state.
+struct TileCost {
+    CycleBreakdown breakdown;        ///< closed-form tile_cycles()
+    std::int64_t compute_cycles = 0; ///< breakdown.total()
+    std::int64_t load_bytes = 0;     ///< tile_load_bytes()
+    std::int64_t load_cycles = 0;    ///< ceil(load_bytes / bus_bytes_per_cycle)
+    std::int64_t writeback_bytes = 0;///< structural upper bound, see below
+};
+
+/// Structural writeback footprint of one tile: every active window row, every
+/// served global-column row and a non-empty global-row pass each emit one
+/// TilePart of d int32 output words plus one int32 weight. This is an upper
+/// bound (a masslass part — all-zero exponentials — is dropped by the
+/// datapath), used only for bus-occupancy modeling, never for results.
+inline std::int64_t tile_writeback_bytes(const TileTask& tile, int head_dim) {
+    const std::int64_t part_bytes = static_cast<std::int64_t>(head_dim + 1) * 4;
+    std::int64_t parts = 0;
+    for (int r = 0; r < tile.rows(); ++r) {
+        if (tile.query_ids[static_cast<std::size_t>(r)] < 0) continue;
+        bool any = false;
+        for (int c = 0; c < tile.cols_used() && !any; ++c) any = tile.is_valid(r, c);
+        if (any) ++parts;
+    }
+    if (tile.global_col_key >= 0)
+        for (auto served : tile.global_col_rows) parts += served ? 1 : 0;
+    for (auto fresh : tile.global_fresh)
+        if (fresh) { ++parts; break; }
+    return parts * part_bytes;
+}
+
+/// Context-free per-tile costs under `params`.
+inline TileCost tile_cost(const TileTask& tile, const TileCostParams& params) {
+    TileCost cost;
+    cost.breakdown = tile_cycles(tile, params.head_dim, params.cycle);
+    cost.compute_cycles = cost.breakdown.total();
+    cost.load_bytes = tile_load_bytes(tile, params.head_dim);
+    cost.load_cycles = (cost.load_bytes + params.bus_bytes_per_cycle - 1) /
+                       params.bus_bytes_per_cycle;
+    cost.writeback_bytes = tile_writeback_bytes(tile, params.head_dim);
+    return cost;
+}
+
+/// Sequential cycle accounting over a tile stream. Tiles must be accounted
+/// strictly in execution order: both the double-buffered load overlap and
+/// the inter-tile stage-3 pipelining depend on the previous tile.
+class TileCostAccountant {
+public:
+    explicit TileCostAccountant(const TileCostParams& params) : params_(params) {}
+
+    struct Step {
+        TileCost cost;
+        std::int64_t compute_cycles = 0; ///< after the pipelining adjustment
+        std::int64_t stall_cycles = 0;   ///< exposed (non-overlapped) load cycles
+        std::int64_t cycles = 0;         ///< this tile's contribution to the total
+    };
+
+    Step account(const TileCost& cost) {
+        Step step;
+        step.cost = cost;
+        step.compute_cycles = cost.compute_cycles;
+        // Inter-tile pipelining: stage 3 (row ripple + reciprocal +
+        // broadcast) of the previous tile overlaps this tile's systolic
+        // stages, so it is hidden for every tile but the first.
+        if (params_.tile_pipelining && !first_tile_)
+            step.compute_cycles -= cost.breakdown.stage[2];
+        if (!params_.double_buffer || first_tile_) {
+            step.stall_cycles = cost.load_cycles;  // nothing to overlap with yet
+        } else {
+            // The load overlapped the previous tile's compute; stall only
+            // for the remainder.
+            step.stall_cycles = std::max<std::int64_t>(0, cost.load_cycles - prev_compute_);
+        }
+        step.cycles = step.compute_cycles + step.stall_cycles;
+        prev_compute_ = step.compute_cycles;
+        first_tile_ = false;
+        total_ += step.cycles;
+        return step;
+    }
+
+    Step account(const TileTask& tile) { return account(tile_cost(tile, params_)); }
+
+    std::int64_t total_cycles() const { return total_; }
+    const TileCostParams& params() const { return params_; }
+
+private:
+    TileCostParams params_;
+    std::int64_t prev_compute_ = 0;
+    std::int64_t total_ = 0;
+    bool first_tile_ = true;
+};
+
+/// Context-free costs for every tile of a plan, in schedule order — the
+/// replay feed for the co-simulation kernel.
+inline std::vector<TileCost> plan_tile_costs(const SchedulePlan& plan,
+                                             const TileCostParams& params) {
+    std::vector<TileCost> costs;
+    costs.reserve(plan.tiles.size());
+    for (const TileTask& tile : plan.tiles) costs.push_back(tile_cost(tile, params));
+    return costs;
+}
+
+/// Sequential closed-form total for a tile-cost stream — the single-array
+/// parity reference of bench_multiarray.
+inline std::int64_t closed_form_cycles(const std::vector<TileCost>& costs,
+                                       const TileCostParams& params) {
+    TileCostAccountant accountant(params);
+    for (const TileCost& cost : costs) accountant.account(cost);
+    return accountant.total_cycles();
+}
+
+}  // namespace salo

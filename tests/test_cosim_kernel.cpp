@@ -1,0 +1,132 @@
+// Co-simulation kernel semantics: phase ordering, quiescence, deadlock
+// detection from the commit tally, budget abort, and the wiring-time
+// registration contract.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cosim/kernel.hpp"
+
+namespace salo::cosim {
+namespace {
+
+/// Test shim exposing the protected registration hook.
+class Probe : public Component {
+public:
+    Probe(Kernel& kernel, std::string name) : Component(kernel, std::move(name)) {}
+
+    void add(const std::string& process, std::function<RunState(CyclePhase)> fn) {
+        register_process(process, std::move(fn));
+    }
+};
+
+/// Runs for `work` cycles, then goes idle forever.
+RunState counter_process(std::int64_t* remaining, CyclePhase phase) {
+    if (phase != CyclePhase::kCommit) return RunState::kIdle;
+    if (*remaining > 0) {
+        --*remaining;
+        return RunState::kRunning;
+    }
+    return RunState::kIdle;
+}
+
+TEST(CosimKernel, QuiescesWhenAllWorkDrains) {
+    Kernel kernel;
+    Probe p(kernel, "p");
+    std::int64_t work = 5;
+    p.add("count", [&](CyclePhase ph) { return counter_process(&work, ph); });
+    EXPECT_EQ(kernel.run(100), RunState::kIdle);
+    EXPECT_EQ(kernel.cycle(), 6);  // 5 running cycles + the idle cycle observed
+    EXPECT_EQ(work, 0);
+}
+
+TEST(CosimKernel, CyclicWaitIsDeadlockWithStuckNames) {
+    // a waits for b's token, b waits for a's token; neither ever commits.
+    Kernel kernel;
+    Probe a(kernel, "a");
+    Probe b(kernel, "b");
+    bool token_a = false, token_b = false;
+    a.add("wait_b", [&](CyclePhase ph) {
+        if (ph != CyclePhase::kCommit) return RunState::kIdle;
+        if (token_b) {
+            token_a = true;
+            return RunState::kRunning;
+        }
+        return RunState::kDeadlock;
+    });
+    b.add("wait_a", [&](CyclePhase ph) {
+        if (ph != CyclePhase::kCommit) return RunState::kIdle;
+        if (token_a) {
+            token_b = true;
+            return RunState::kRunning;
+        }
+        return RunState::kDeadlock;
+    });
+    EXPECT_EQ(kernel.run(1000), RunState::kDeadlock);
+    EXPECT_EQ(kernel.cycle(), 1);  // detected on the first committed cycle
+    const std::vector<std::string> stuck = kernel.stuck_processes();
+    ASSERT_EQ(stuck.size(), 2u);
+    EXPECT_EQ(stuck[0], "a/wait_b");
+    EXPECT_EQ(stuck[1], "b/wait_a");
+}
+
+TEST(CosimKernel, ProgressElsewhereDefersDeadlock) {
+    // A stalled process is not a deadlock while any process still commits;
+    // once the runner drains, the stall is promoted to a system deadlock.
+    Kernel kernel;
+    Probe p(kernel, "p");
+    std::int64_t work = 7;
+    p.add("runner", [&](CyclePhase ph) { return counter_process(&work, ph); });
+    p.add("stuck", [](CyclePhase ph) {
+        return ph == CyclePhase::kCommit ? RunState::kDeadlock : RunState::kIdle;
+    });
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(kernel.step(), RunState::kRunning);
+    EXPECT_EQ(kernel.step(), RunState::kDeadlock);
+    const std::vector<std::string> stuck = kernel.stuck_processes();
+    ASSERT_EQ(stuck.size(), 1u);
+    EXPECT_EQ(stuck[0], "p/stuck");
+}
+
+TEST(CosimKernel, BudgetExhaustionAborts) {
+    Kernel kernel;
+    Probe p(kernel, "p");
+    p.add("spin", [](CyclePhase ph) {
+        return ph == CyclePhase::kCommit ? RunState::kRunning : RunState::kIdle;
+    });
+    EXPECT_EQ(kernel.run(50), RunState::kAborted);
+    EXPECT_EQ(kernel.cycle(), 50);
+}
+
+TEST(CosimKernel, PhasesAndProcessesRunInRegistrationOrder) {
+    Kernel kernel;
+    Probe p(kernel, "p");
+    std::vector<std::string> trace;
+    auto record = [&trace](const char* name, CyclePhase ph) {
+        const char* phase = ph == CyclePhase::kAcquire ? "acq"
+                            : ph == CyclePhase::kCheck ? "chk"
+                                                       : "com";
+        trace.push_back(std::string(name) + ":" + phase);
+        return RunState::kIdle;
+    };
+    p.add("first", [&](CyclePhase ph) { return record("first", ph); });
+    p.add("second", [&](CyclePhase ph) { return record("second", ph); });
+    kernel.step();
+    const std::vector<std::string> expected = {"first:acq", "second:acq",
+                                               "first:chk", "second:chk",
+                                               "first:com", "second:com"};
+    EXPECT_EQ(trace, expected);
+}
+
+TEST(CosimKernel, RegistrationAfterFirstCycleIsRejected) {
+    Kernel kernel;
+    Probe p(kernel, "p");
+    p.add("noop", [](CyclePhase) { return RunState::kIdle; });
+    kernel.step();
+    EXPECT_THROW(p.add("late", [](CyclePhase) { return RunState::kIdle; }),
+                 ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo::cosim

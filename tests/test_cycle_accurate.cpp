@@ -110,6 +110,59 @@ TEST(CycleAccurate, StageBreakdownShape) {
     EXPECT_EQ(b.stage[4], 25);
 }
 
+TEST(CycleConfigValidate, DefaultsPassAndBadFieldsAreNamed) {
+    EXPECT_NO_THROW(CycleConfig{}.validate());
+
+    CycleConfig c;
+    c.exp_cycles = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("exp_cycles"), std::string::npos);
+    }
+
+    c = CycleConfig{};
+    c.broadcast_cycles = -1;
+    try {
+        c.validate();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("broadcast_cycles"), std::string::npos);
+    }
+
+    c = CycleConfig{};
+    c.wsm_cycles = -1;
+    EXPECT_THROW(c.validate(), ContractViolation);
+
+    c = CycleConfig{};
+    c.recip.lut_bits = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("lut_bits"), std::string::npos);
+    }
+
+    c = CycleConfig{};
+    c.recip.nr_iters = 7;
+    try {
+        c.validate();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("nr_iters"), std::string::npos);
+    }
+}
+
+TEST(CycleConfigValidate, CycleAccurateArrayRejectsInvalidConfig) {
+    Fixture f(longformer(64, 10, 1), 8, 3);
+    CycleConfig bad;
+    bad.stage4_cycles = 0;
+    EXPECT_THROW(CycleAccurateArray(f.geometry, bad, f.exp_unit, f.recip_unit, f.q,
+                                    f.k, f.v),
+                 ContractViolation);
+}
+
 TEST(CycleAccurate, UtilizationBetweenZeroAndOne) {
     Fixture f(vil_2d(8, 8, 3, 3, 1), 8, 8);
     const CycleAccurateArray array(f.geometry, CycleConfig{}, f.exp_unit, f.recip_unit,
