@@ -11,7 +11,8 @@
 //   * bit-identity of every served result against the sequential run.
 //
 //   bench_serving [--quick] [--requests N] [--seed S] [--overload]
-//                 [--shards N] [--chaos] [--sweep-shards] [--json <path>]
+//                 [--shards N] [--chaos] [--sweep-shards]
+//                 [--tenants [K]] [--noisy] [--sweep-tenants] [--json <path>]
 //
 // --overload adds the overload experiment (docs/PERFORMANCE.md): the same
 // stream re-fired as a 10x burst — paced arrivals at ten times the measured
@@ -36,6 +37,25 @@
 // --sweep-shards additionally records a 1/2/4-shard x healthy/chaos sweep
 // (correctness invariants enforced; latencies informational).
 //
+// --tenants [K] runs the tenant-isolation experiment (docs/RELIABILITY.md):
+// K well-behaved tenants (default 4) send paced, staggered interactive
+// ViL-28x28 traffic through a 1-shard tier with the shared plan store and
+// the DWRR fairness layer on. --noisy adds the noisy neighbor: an
+// "aggressor" tenant flooding small batch-class ViL-14x14 requests at ~10x
+// a well-behaved tenant's rate against its own {weight 1, reject_fast,
+// max_queue 4} quota. The exit code then enforces the isolation gates:
+//   (a) every well-behaved tenant's p99 stays under 2x its solo-run p99
+//       (solo baseline floored at 10 ms),
+//   (b) the aggressor's excess is shed against its own quota — the
+//       well-behaved tenants see zero QueueFull while the aggressor sees
+//       at least one,
+//   (c) the stats conservation law holds per tenant and globally (and the
+//       per-tenant breakdown sums to the global counters),
+//   (d) every completed result is bit-identical to the sequential engine.
+//
+// --sweep-tenants records the same mix at K = 2, 4, 8 (correctness gates
+// (b)-(d) enforced; latencies informational).
+//
 // --json writes the machine-readable snapshot recorded as
 // BENCH_serving.json at the repo root (CMake target bench_serving_json).
 #include <algorithm>
@@ -46,6 +66,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -278,6 +299,295 @@ void tier_json(std::ostream& os, const TierRunResult& t, const char* indent) {
        << indent << "}";
 }
 
+// -------------------------------------------------------------------------
+// Tenant isolation: K paced well-behaved tenants vs one flooding aggressor.
+// -------------------------------------------------------------------------
+
+/// The fixed shapes + pre-generated inputs/expected outputs of the tenant
+/// mix. Well-behaved tenants send the large vision shape interactive; the
+/// aggressor floods the small one batch-class. Inputs come from small
+/// per-role pools so the sequential baseline stays cheap while bit-identity
+/// is still checked per request.
+struct TenantMix {
+    salo::AttentionWorkload wb_shape;
+    salo::AttentionWorkload ag_shape;
+    std::vector<salo::QkvSet> wb_qkv, ag_qkv;
+    std::vector<salo::LayerResult> wb_expected, ag_expected;
+    double wb_service_ms = 1.0;  ///< measured sequential service time
+};
+
+TenantMix make_tenant_mix(const salo::SaloConfig& config, std::uint64_t seed) {
+    using namespace salo;
+    AttentionWorkload vil = vil_stage2();
+    vil.pattern = vil_2d(28, 28, 9, 9, 1);
+    vil.heads = 2;
+    vil.window = 9 * 9;
+    vil.name = "ViL-28x28";
+    AttentionWorkload vil_small = vil;
+    vil_small.pattern = vil_2d(14, 14, 7, 7, 1);
+    vil_small.window = 7 * 7;
+    vil_small.name = "ViL-14x14";
+    TenantMix mix{std::move(vil), std::move(vil_small)};
+
+    const SaloEngine sequential(config);
+    constexpr int kPool = 3;
+    for (int i = 0; i < kPool; ++i) {
+        mix.wb_qkv.push_back(make_qkv(mix.wb_shape, seed + 100 + static_cast<std::uint64_t>(i)));
+        mix.ag_qkv.push_back(make_qkv(mix.ag_shape, seed + 200 + static_cast<std::uint64_t>(i)));
+    }
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kPool; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        mix.wb_expected.push_back(sequential.run(mix.wb_shape.pattern, mix.wb_qkv[idx].q,
+                                                 mix.wb_qkv[idx].k, mix.wb_qkv[idx].v,
+                                                 mix.wb_shape.scale()));
+    }
+    mix.wb_service_ms = std::max(ms_between(t0, Clock::now()) / kPool, 0.2);
+    for (int i = 0; i < kPool; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        mix.ag_expected.push_back(sequential.run(mix.ag_shape.pattern, mix.ag_qkv[idx].q,
+                                                 mix.ag_qkv[idx].k, mix.ag_qkv[idx].v,
+                                                 mix.ag_shape.scale()));
+    }
+    return mix;
+}
+
+struct TenantPerf {
+    std::string name;
+    std::uint64_t sent = 0, completed = 0, rejected = 0, other = 0;
+    double p50_ms = 0.0, p99_ms = 0.0;
+};
+
+struct TenantRunResult {
+    int wb_tenants = 0;
+    bool noisy = false;
+    double wall_ms = 0.0, interval_ms = 0.0;
+    std::vector<TenantPerf> wb;
+    TenantPerf aggressor;
+    salo::SessionStats stats;
+    std::map<std::string, salo::TenantStats> per_tenant;
+    int lost = 0;
+    bool identical_ok = true;      ///< gate (d)
+    bool conserved = true;         ///< gate (c), global + per tenant + sums
+    bool wb_zero_rejects = true;   ///< gate (b), well-behaved side
+    bool aggressor_shed = false;   ///< gate (b), aggressor side (noisy only)
+    std::uint64_t shared_store_compiles = 0;
+};
+
+/// One run of the tenant mix: K well-behaved tenants paced at one request
+/// per `interval` each (starts staggered across the interval), plus — when
+/// `noisy` — the aggressor flooding 10x a well-behaved tenant's request
+/// count with no pacing at all.
+TenantRunResult run_tenants(const salo::SaloConfig& config, int wb_tenants, bool noisy,
+                            int per_wb, double interval_ms, std::uint64_t seed,
+                            const TenantMix& mix) {
+    using namespace salo;
+    TenantRunResult out;
+    out.wb_tenants = wb_tenants;
+    out.noisy = noisy;
+    out.interval_ms = interval_ms;
+
+    ShardedSessionOptions options;
+    // One shard, one router lane: on a small host the isolation signal is
+    // the scheduler's pick order, not parallelism — more lanes would only
+    // let the OS scheduler blur what DWRR decides.
+    options.num_shards = 1;
+    options.router_workers = 1;
+    options.shared_plan_store = true;
+    options.retry.max_attempts = 2;
+    options.retry.jitter_seed = seed;
+    if (noisy) {
+        TenantQuota quota;
+        quota.weight = 1.0;
+        quota.admission.mode = AdmissionMode::reject_fast;
+        quota.admission.max_queue = 4;
+        options.fairness.tenants["aggressor"] = quota;
+    }
+    ShardedSession tier(config, options);
+
+    const int flood_n = noisy ? 10 * per_wb : 0;
+    const int total = wb_tenants * per_wb + flood_n;
+    std::vector<std::future<LayerResult>> futures(static_cast<std::size_t>(total));
+    std::vector<Clock::time_point> submit_at(static_cast<std::size_t>(total));
+    std::vector<const LayerResult*> expect_of(static_cast<std::size_t>(total), nullptr);
+
+    // Each submitter owns a disjoint slot range; joins below publish the
+    // writes before the await sweep reads them.
+    const auto start = Clock::now() + std::chrono::milliseconds(5);
+    std::vector<std::thread> senders;
+    for (int t = 0; t < wb_tenants; ++t) {
+        senders.emplace_back([&, t] {
+            const double stagger = interval_ms * static_cast<double>(t) /
+                                   static_cast<double>(wb_tenants);
+            for (int j = 0; j < per_wb; ++j) {
+                std::this_thread::sleep_until(
+                    start + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    stagger + interval_ms * j)));
+                const std::size_t pool =
+                    static_cast<std::size_t>(t + j) % mix.wb_qkv.size();
+                const std::size_t slot = static_cast<std::size_t>(t * per_wb + j);
+                AttentionRequest r = make_request(mix.wb_shape.pattern,
+                                                  mix.wb_qkv[pool].q, mix.wb_qkv[pool].k,
+                                                  mix.wb_qkv[pool].v, mix.wb_shape.scale());
+                r.tenant_id = "wb-" + std::to_string(t);
+                expect_of[slot] = &mix.wb_expected[pool];
+                submit_at[slot] = Clock::now();
+                futures[slot] = tier.submit(std::move(r));
+            }
+        });
+    }
+    if (noisy) {
+        senders.emplace_back([&] {
+            std::this_thread::sleep_until(start);
+            for (int j = 0; j < flood_n; ++j) {
+                const std::size_t pool = static_cast<std::size_t>(j) % mix.ag_qkv.size();
+                const std::size_t slot = static_cast<std::size_t>(wb_tenants * per_wb + j);
+                AttentionRequest r = make_request(mix.ag_shape.pattern,
+                                                  mix.ag_qkv[pool].q, mix.ag_qkv[pool].k,
+                                                  mix.ag_qkv[pool].v, mix.ag_shape.scale());
+                r.tenant_id = "aggressor";
+                r.priority = Priority::batch;
+                expect_of[slot] = &mix.ag_expected[pool];
+                submit_at[slot] = Clock::now();
+                futures[slot] = tier.submit(std::move(r));
+            }
+        });
+    }
+    const auto t0 = Clock::now();
+    for (auto& s : senders) s.join();
+
+    // Await with readiness stamping (same scheme as run_tier).
+    std::vector<double> latency_ms(static_cast<std::size_t>(total), -1.0);
+    const Clock::time_point await_deadline = Clock::now() + std::chrono::seconds(120);
+    int remaining = total;
+    while (remaining > 0 && Clock::now() < await_deadline) {
+        for (int i = 0; i < total; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            if (latency_ms[idx] >= 0.0) continue;
+            if (futures[idx].wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                latency_ms[idx] = ms_between(submit_at[idx], Clock::now());
+                --remaining;
+            }
+        }
+        if (remaining > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    out.lost = remaining;
+    out.wall_ms = ms_between(t0, Clock::now());
+
+    // Classify per tenant.
+    out.wb.resize(static_cast<std::size_t>(wb_tenants));
+    for (int t = 0; t < wb_tenants; ++t)
+        out.wb[static_cast<std::size_t>(t)].name = "wb-" + std::to_string(t);
+    out.aggressor.name = "aggressor";
+    std::vector<std::vector<double>> wb_ms(static_cast<std::size_t>(wb_tenants));
+    for (int i = 0; i < total; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const bool is_wb = i < wb_tenants * per_wb;
+        TenantPerf& perf = is_wb ? out.wb[static_cast<std::size_t>(i / per_wb)]
+                                 : out.aggressor;
+        ++perf.sent;
+        if (latency_ms[idx] < 0.0) continue;  // lost: already gated
+        try {
+            const LayerResult r = futures[idx].get();
+            ++perf.completed;
+            if (is_wb) wb_ms[static_cast<std::size_t>(i / per_wb)].push_back(latency_ms[idx]);
+            if (!identical(*expect_of[idx], r)) out.identical_ok = false;
+        } catch (const QueueFull&) {
+            ++perf.rejected;
+        } catch (const std::exception&) {
+            ++perf.other;
+        }
+    }
+    for (int t = 0; t < wb_tenants; ++t) {
+        TenantPerf& perf = out.wb[static_cast<std::size_t>(t)];
+        perf.p50_ms = percentile(wb_ms[static_cast<std::size_t>(t)], 0.50);
+        perf.p99_ms = percentile(wb_ms[static_cast<std::size_t>(t)], 0.99);
+        if (perf.rejected > 0) out.wb_zero_rejects = false;
+    }
+    out.aggressor_shed = out.aggressor.rejected >= 1;
+    tier.close();
+
+    out.stats = tier.stats();
+    out.per_tenant = tier.tenant_stats();
+    if (tier.shared_plan_store())
+        out.shared_store_compiles = tier.shared_plan_store()->stats().compiles;
+    out.conserved = out.stats.accounted() == out.stats.submitted;
+    std::uint64_t sum_submitted = 0, sum_accounted = 0;
+    for (const auto& [name, ts] : out.per_tenant) {
+        if (ts.accounted() != ts.submitted) out.conserved = false;
+        sum_submitted += ts.submitted;
+        sum_accounted += ts.accounted();
+        (void)name;
+    }
+    if (sum_submitted != out.stats.submitted || sum_accounted != out.stats.accounted())
+        out.conserved = false;
+    return out;
+}
+
+void print_tenants(const TenantRunResult& r, double solo_p99_ms) {
+    std::printf("tenant mix [%d well-behaved%s]  %9.1f ms wall, "
+                "interval %.1f ms/tenant\n",
+                r.wb_tenants, r.noisy ? " + aggressor" : "", r.wall_ms, r.interval_ms);
+    for (const TenantPerf& t : r.wb)
+        std::printf("  %-10s sent %3llu, completed %3llu, rejected %llu; "
+                    "p50 %.1f ms, p99 %.1f ms\n",
+                    t.name.c_str(), static_cast<unsigned long long>(t.sent),
+                    static_cast<unsigned long long>(t.completed),
+                    static_cast<unsigned long long>(t.rejected), t.p50_ms, t.p99_ms);
+    if (r.noisy)
+        std::printf("  %-10s sent %3llu, completed %3llu, rejected %llu "
+                    "(shed against its own quota)\n",
+                    r.aggressor.name.c_str(),
+                    static_cast<unsigned long long>(r.aggressor.sent),
+                    static_cast<unsigned long long>(r.aggressor.completed),
+                    static_cast<unsigned long long>(r.aggressor.rejected));
+    std::printf("  shared plan store compiles: %llu (tier-wide); lost futures: %d\n",
+                static_cast<unsigned long long>(r.shared_store_compiles), r.lost);
+    std::printf("  conservation (per tenant + global): %s; completed bit-identical: %s\n",
+                r.conserved ? "yes" : "NO — BUG", r.identical_ok ? "yes" : "NO — BUG");
+    if (solo_p99_ms > 0.0)
+        std::printf("  solo baseline p99 %.1f ms (gate floor 10 ms)\n", solo_p99_ms);
+}
+
+void tenants_json(std::ostream& os, const TenantRunResult& r, const char* indent) {
+    os << indent << "{\n"
+       << indent << "  \"wb_tenants\": " << r.wb_tenants << ",\n"
+       << indent << "  \"noisy\": " << (r.noisy ? "true" : "false") << ",\n"
+       << indent << "  \"wall_ms\": " << r.wall_ms << ",\n"
+       << indent << "  \"interval_ms\": " << r.interval_ms << ",\n"
+       << indent << "  \"wb\": [\n";
+    for (std::size_t i = 0; i < r.wb.size(); ++i) {
+        const TenantPerf& t = r.wb[i];
+        os << indent << "    {\"name\": \"" << t.name << "\", \"sent\": " << t.sent
+           << ", \"completed\": " << t.completed << ", \"rejected\": " << t.rejected
+           << ", \"p50_ms\": " << t.p50_ms << ", \"p99_ms\": " << t.p99_ms << "}"
+           << (i + 1 < r.wb.size() ? "," : "") << "\n";
+    }
+    os << indent << "  ],\n"
+       << indent << "  \"aggressor\": {\"sent\": " << r.aggressor.sent
+       << ", \"completed\": " << r.aggressor.completed
+       << ", \"rejected\": " << r.aggressor.rejected << "},\n"
+       << indent << "  \"shared_store_compiles\": " << r.shared_store_compiles << ",\n"
+       << indent << "  \"lost_futures\": " << r.lost << ",\n"
+       << indent << "  \"wb_zero_rejects\": " << (r.wb_zero_rejects ? "true" : "false")
+       << ",\n"
+       << indent << "  \"aggressor_shed\": " << (r.aggressor_shed ? "true" : "false")
+       << ",\n"
+       << indent << "  \"conserved\": " << (r.conserved ? "true" : "false") << ",\n"
+       << indent << "  \"completed_bit_identical\": "
+       << (r.identical_ok ? "true" : "false") << "\n"
+       << indent << "}";
+}
+
+/// Correctness gates every tenant run must satisfy ((b)-(d); the p99 gate
+/// (a) is evaluated only for the explicit --noisy run).
+bool tenant_invariants_ok(const TenantRunResult& r) {
+    const bool shed_ok = !r.noisy || (r.wb_zero_rejects && r.aggressor_shed);
+    return r.lost == 0 && r.conserved && r.identical_ok && shed_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,6 +597,10 @@ int main(int argc, char** argv) {
     bool overload = false;
     bool chaos = false;
     bool sweep_shards = false;
+    bool tenants = false;
+    bool noisy = false;
+    bool sweep_tenants = false;
+    int wb_tenants = 4;
     int shards = 0;
     int num_requests = 48;
     std::uint64_t seed = 42;
@@ -296,6 +610,13 @@ int main(int argc, char** argv) {
         else if (std::strcmp(argv[i], "--overload") == 0) overload = true;
         else if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
         else if (std::strcmp(argv[i], "--sweep-shards") == 0) sweep_shards = true;
+        else if (std::strcmp(argv[i], "--noisy") == 0) { noisy = true; tenants = true; }
+        else if (std::strcmp(argv[i], "--sweep-tenants") == 0) sweep_tenants = true;
+        else if (std::strcmp(argv[i], "--tenants") == 0) {
+            tenants = true;
+            if (i + 1 < argc && argv[i + 1][0] >= '0' && argv[i + 1][0] <= '9')
+                wb_tenants = std::atoi(argv[++i]);
+        }
         else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
             shards = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
@@ -307,12 +628,13 @@ int main(int argc, char** argv) {
         else {
             std::cerr << "usage: bench_serving [--quick] [--requests N] [--seed S] "
                          "[--overload] [--shards N] [--chaos] [--sweep-shards] "
-                         "[--json path]\n";
+                         "[--tenants [K]] [--noisy] [--sweep-tenants] [--json path]\n";
             return 2;
         }
     }
     if (quick) num_requests = std::min(num_requests, 16);
     if (num_requests < 1) num_requests = 1;
+    if (wb_tenants < 1) wb_tenants = 1;
     if (chaos && shards <= 0) shards = 4;  // the soak needs a tier to degrade
 
     // The mixed stream: one NLP shape, two vision shapes (paper Table 2
@@ -607,6 +929,67 @@ int main(int argc, char** argv) {
         }
     }
 
+    // --- Tenant isolation: paced tenants vs the noisy neighbor ------------
+    bool tenants_ok = true;
+    std::vector<TenantRunResult> tenant_runs;  // recorded to JSON
+    double solo_p99_ms = 0.0, worst_wb_ratio = 0.0;
+    if (tenants || sweep_tenants) {
+        const TenantMix mix = make_tenant_mix(config, seed);
+        const int per_wb = quick ? 6 : 12;
+        if (tenants) {
+            // One request per `interval` per tenant; the interval scales
+            // with K so the combined well-behaved load stays at ~half of
+            // the single lane's capacity and isolation — not raw overload —
+            // is what the gate measures.
+            const double interval_ms =
+                std::max(2.0 * wb_tenants * mix.wb_service_ms, 2.0 * wb_tenants);
+            std::printf("\ntenant isolation: %d well-behaved tenant%s%s, seed %llu\n",
+                        wb_tenants, wb_tenants == 1 ? "" : "s",
+                        noisy ? " + 1 noisy aggressor (10x flood)" : "",
+                        static_cast<unsigned long long>(seed));
+            // Solo baseline: one tenant, same pacing, empty tier.
+            const TenantRunResult solo =
+                run_tenants(config, 1, /*noisy=*/false, per_wb, interval_ms, seed, mix);
+            solo_p99_ms = solo.wb.empty() ? 0.0 : solo.wb[0].p99_ms;
+            tenants_ok = tenants_ok && tenant_invariants_ok(solo);
+
+            const TenantRunResult contested =
+                run_tenants(config, wb_tenants, noisy, per_wb, interval_ms, seed, mix);
+            print_tenants(contested, solo_p99_ms);
+            tenant_runs.push_back(contested);
+            tenants_ok = tenants_ok && tenant_invariants_ok(contested);
+            if (noisy) {
+                // Gate (a): every well-behaved tenant within 2x its solo
+                // p99, the baseline floored at 10 ms so a microsecond-fast
+                // solo run cannot turn scheduler noise into a failure.
+                const double floor_p99 = std::max(solo_p99_ms, 10.0);
+                for (const TenantPerf& t : contested.wb)
+                    worst_wb_ratio = std::max(worst_wb_ratio, t.p99_ms / floor_p99);
+                const bool fair = worst_wb_ratio < 2.0;
+                std::printf("  worst wb p99 ratio vs solo: %.2fx (bar < 2x) -> %s\n",
+                            worst_wb_ratio, fair ? "OK" : "FAIL");
+                tenants_ok = tenants_ok && fair;
+            }
+        }
+        if (sweep_tenants) {
+            std::printf("\ntenant sweep (noisy mix, correctness gates, seed %llu):\n",
+                        static_cast<unsigned long long>(seed));
+            for (const int k : {2, 4, 8}) {
+                bool done = false;
+                for (const TenantRunResult& r : tenant_runs)
+                    if (r.wb_tenants == k && r.noisy) done = true;
+                if (done) continue;
+                const double interval_ms =
+                    std::max(2.0 * k * mix.wb_service_ms, 2.0 * k);
+                const TenantRunResult r = run_tenants(config, k, /*noisy=*/true, per_wb,
+                                                      interval_ms, seed, mix);
+                print_tenants(r, 0.0);
+                tenant_runs.push_back(r);
+                tenants_ok = tenants_ok && tenant_invariants_ok(r);
+            }
+        }
+    }
+
     if (!json_path.empty()) {
         char date[32] = "unknown";
         const std::time_t now = std::time(nullptr);
@@ -667,9 +1050,21 @@ int main(int argc, char** argv) {
             os << "  ]";
             if (chaos) os << ",\n  \"chaos_p99_ratio\": " << chaos_p99_ratio;
         }
+        if (!tenant_runs.empty()) {
+            os << ",\n  \"tenant_isolation\": {\n"
+               << "    \"solo_p99_ms\": " << solo_p99_ms << ",\n"
+               << "    \"worst_wb_p99_ratio\": " << worst_wb_ratio << ",\n"
+               << "    \"runs\": [\n";
+            for (std::size_t i = 0; i < tenant_runs.size(); ++i) {
+                tenants_json(os, tenant_runs[i], "      ");
+                if (i + 1 < tenant_runs.size()) os << ",";
+                os << "\n";
+            }
+            os << "    ]\n  }";
+        }
         os << "\n}\n";
         std::printf("wrote %s\n", json_path.c_str());
     }
     const bool overload_ok = !ov.ran || (ov.identical_ok && ov.p99_ratio < 2.0);
-    return bit_identical && overload_ok && tier_ok ? 0 : 1;
+    return bit_identical && overload_ok && tier_ok && tenants_ok ? 0 : 1;
 }

@@ -44,3 +44,19 @@ namespace detail {
     do {                                                                          \
         if (!(cond)) ::salo::detail::contract_fail("Assert", #cond, __FILE__, __LINE__); \
     } while (0)
+
+/// Debug-build-only invariant check: active in debug and sanitizer builds
+/// (the asan-ubsan/tsan presets compile without -DNDEBUG), compiled out of
+/// release binaries so it never costs the hot path. For invariants that are
+/// cheap to state but sit on paths where a release-mode throw would be
+/// worse than the bug (e.g. destructors / close()).
+#ifdef NDEBUG
+#define SALO_DEBUG_ASSERT(cond) \
+    do {                        \
+    } while (0)
+#else
+#define SALO_DEBUG_ASSERT(cond)                                                   \
+    do {                                                                          \
+        if (!(cond)) ::salo::detail::contract_fail("DebugAssert", #cond, __FILE__, __LINE__); \
+    } while (0)
+#endif

@@ -19,6 +19,7 @@
 namespace salo {
 
 class FaultInjector;  // common/fault_injector.hpp (test/robustness hook)
+class PlanCache;      // core/plan_cache.hpp (optional shared compile tier)
 
 enum class Fidelity {
     kGolden,
@@ -74,6 +75,13 @@ struct SaloConfig {
     /// Null (the default) costs nothing; a per-request injector on an
     /// AttentionRequest overrides this one for that request.
     std::shared_ptr<const FaultInjector> fault_injector;
+
+    /// Optional shared read-mostly plan store: when set, the engine's local
+    /// PlanCache resolves its misses through this store instead of running
+    /// the scheduler itself, so engines sharing one store compile each
+    /// distinct shape exactly once tier-wide (core/plan_cache.hpp; wired by
+    /// ShardedSessionOptions::shared_plan_store). Null = self-contained.
+    std::shared_ptr<PlanCache> shared_plan_store;
 
     /// Reject nonsensical values (zero geometry, non-positive bandwidth,
     /// NaN frequency, ...) with a ContractViolation naming the offending

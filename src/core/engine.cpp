@@ -67,6 +67,8 @@ SaloEngine::SaloEngine(const SaloConfig& config)
     : config_(config), exp_unit_(config.exp_config), recip_unit_(config.recip_config),
       plan_cache_(static_cast<std::size_t>(std::max(1, config.plan_cache_capacity))) {
     config_.validate();
+    if (config_.shared_plan_store)
+        plan_cache_.attach_shared_store(config_.shared_plan_store);
 }
 
 ThreadPool& SaloEngine::pool() const {

@@ -1,0 +1,177 @@
+#include "core/fair_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace salo {
+
+FairScheduler::FairScheduler(FairQueueOptions options) : options_(std::move(options)) {
+    SALO_EXPECTS(options_.default_quota.weight > 0.0);
+    for (const auto& [name, quota] : options_.tenants) {
+        SALO_EXPECTS(quota.weight > 0.0);
+        (void)name;
+    }
+    if (options_.quantum > 0) adaptive_quantum_ = options_.quantum;
+}
+
+const TenantQuota& FairScheduler::quota(const std::string& tenant) const {
+    auto it = options_.tenants.find(tenant);
+    return it != options_.tenants.end() ? it->second : options_.default_quota;
+}
+
+AdmissionDecision FairScheduler::decide(const std::string& tenant, Priority priority,
+                                        std::uint64_t cost) const {
+    const TenantQuota& q = quota(tenant);
+    AdmissionSnapshot snap;
+    if (auto it = tenants_.find(tenant); it != tenants_.end()) {
+        const Tenant& t = it->second;
+        snap.queued_interactive = t.interactive.size();
+        snap.queued_batch = t.batch.size();
+        // The tenant's outstanding-cost ceiling covers queued *and*
+        // in-flight work: a tenant cannot sidestep its quota just because
+        // the scheduler already handed its requests to router workers.
+        snap.outstanding_cost = t.queued_cost + t.in_flight_cost;
+    }
+    return AdmissionController(q.admission).decide(snap, priority, cost);
+}
+
+void FairScheduler::push(const std::string& tenant, Priority priority, std::uint64_t cost) {
+    Tenant& t = tenants_[tenant];
+    const bool was_queued = !t.interactive.empty() || !t.batch.empty();
+    class_queue(t, priority).push_back(cost);
+    t.queued_cost += cost;
+    queued_cost_ += cost;
+    if (priority == Priority::interactive) {
+        ++queued_interactive_;
+    } else {
+        ++queued_batch_;
+    }
+    if (options_.quantum == 0) adaptive_quantum_ = std::max(adaptive_quantum_, cost);
+    if (!was_queued) ring_.push_back(tenant);
+}
+
+std::int64_t FairScheduler::top_up(const std::string& tenant) const {
+    const double w = quota(tenant).weight;
+    const double amount = static_cast<double>(adaptive_quantum_) * w;
+    return std::max<std::int64_t>(1, static_cast<std::int64_t>(amount));
+}
+
+std::optional<FairScheduler::Pick> FairScheduler::pop() {
+    if (empty()) return std::nullopt;
+    // Strict band priority, matching the single-tenant sessions: no batch
+    // request is served while interactive work is queued anywhere.
+    const Priority band = queued_interactive_ > 0 ? Priority::interactive : Priority::batch;
+
+    // At most one extra sweep after a global top-up: the top-up makes at
+    // least one queued head affordable (quantum >= max cost seen when
+    // adaptive; with a fixed small quantum a tenant may need several
+    // rounds, so we loop until someone can afford — bounded because every
+    // round strictly raises every queued tenant's deficit.)
+    for (;;) {
+        const std::size_t n = ring_.size();
+        for (std::size_t step = 0; step < n; ++step) {
+            const std::size_t slot = (cursor_ + step) % n;
+            const std::string& name = ring_[slot];
+            Tenant& t = tenants_.at(name);
+            auto& q = class_queue(t, band);
+            if (q.empty()) continue;
+            const std::uint64_t cost = q.front();
+            if (t.deficit < static_cast<std::int64_t>(cost)) continue;
+
+            // Serve this head.
+            t.deficit -= static_cast<std::int64_t>(cost);
+            q.pop_front();
+            t.queued_cost -= cost;
+            t.in_flight_cost += cost;
+            ++t.in_flight;
+            queued_cost_ -= cost;
+            if (band == Priority::interactive) {
+                --queued_interactive_;
+            } else {
+                --queued_batch_;
+            }
+
+            Pick pick{name, band, cost};
+            if (t.interactive.empty() && t.batch.empty()) {
+                // Classic DWRR: a tenant that drains its queue loses its
+                // banked credit (idle tenants cannot hoard service), but a
+                // retry debt (negative deficit) is kept until the tenant
+                // is fully idle — see release().
+                if (t.deficit > 0) t.deficit = 0;
+                ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(slot));
+                // Keep the cursor on the slot after the erased one.
+                cursor_ = ring_.empty() ? 0 : slot % ring_.size();
+            } else {
+                // Advance past the served tenant so the next pop starts at
+                // its ring successor.
+                cursor_ = (slot + 1) % n;
+            }
+            return pick;
+        }
+        // Nobody in the band could afford their head: one top-up round for
+        // every tenant with queued work, then rescan.
+        for (const auto& name : ring_) {
+            Tenant& t = tenants_.at(name);
+            if (class_queue(t, band).empty()) continue;
+            t.deficit += top_up(name);
+        }
+    }
+}
+
+void FairScheduler::release(const std::string& tenant, std::uint64_t cost) {
+    auto it = tenants_.find(tenant);
+    SALO_EXPECTS(it != tenants_.end());
+    Tenant& t = it->second;
+    SALO_EXPECTS(t.in_flight > 0 && t.in_flight_cost >= cost);
+    t.in_flight_cost -= cost;
+    --t.in_flight;
+    reclaim_if_idle(tenant);
+}
+
+void FairScheduler::charge(const std::string& tenant, std::uint64_t cost) {
+    auto it = tenants_.find(tenant);
+    // The request being retried was popped, so its tenant still has an
+    // in-flight reference and cannot have been reclaimed.
+    SALO_EXPECTS(it != tenants_.end());
+    it->second.deficit -= static_cast<std::int64_t>(cost);
+}
+
+void FairScheduler::reclaim_if_idle(const std::string& tenant) {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return;
+    const Tenant& t = it->second;
+    if (!t.interactive.empty() || !t.batch.empty() || t.in_flight > 0) return;
+    // Fully idle: forget the tenant entirely — including any retry debt.
+    // A tenant that went idle has, by definition, stopped competing; its
+    // entry (and memory) comes back only on the next push.
+    auto ring_it = std::find(ring_.begin(), ring_.end(), tenant);
+    if (ring_it != ring_.end()) {
+        const std::size_t slot = static_cast<std::size_t>(ring_it - ring_.begin());
+        ring_.erase(ring_it);
+        if (ring_.empty()) {
+            cursor_ = 0;
+        } else if (cursor_ > slot) {
+            --cursor_;
+        } else {
+            cursor_ %= ring_.size();
+        }
+    }
+    tenants_.erase(it);
+}
+
+std::optional<TenantQueueSnapshot> FairScheduler::tenant_snapshot(
+    const std::string& tenant) const {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return std::nullopt;
+    const Tenant& t = it->second;
+    TenantQueueSnapshot snap;
+    snap.queued_interactive = t.interactive.size();
+    snap.queued_batch = t.batch.size();
+    snap.queued_cost = t.queued_cost;
+    snap.in_flight_cost = t.in_flight_cost;
+    snap.deficit = t.deficit;
+    return snap;
+}
+
+}  // namespace salo

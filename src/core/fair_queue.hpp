@@ -1,0 +1,178 @@
+// Tenant-aware fair queueing for the sharded serving tier.
+//
+// The overload hardening of core/admission.hpp is *global*: one tenant's
+// 10x burst fills the shared queue and every other tenant's traffic is
+// either rejected (QueueFull) or parked behind the burst. The fix is the
+// classic per-source decomposition (the SST QoS Scheduler/PortFIFO model is
+// the exemplar shape): requests land in per-tenant bounded queues and a
+// weighted scheduler in front of the shared resource decides whose head
+// runs next, so service is proportional to configured tenant weights
+// regardless of arrival bursts.
+//
+// FairScheduler implements deficit-weighted round robin (DWRR):
+//
+//   * every tenant with queued work sits in a round-robin ring and owns a
+//     deficit counter (its spendable service credit, in cost units);
+//   * pop() serves the first ring tenant — scanning from the round-robin
+//     cursor — whose deficit covers its head-of-line cost, and deducts the
+//     cost. When no queued tenant can afford its head, every queued tenant
+//     earns one top-up of quantum x weight and the scan repeats, so the
+//     scheduler is work-conserving and a tenant's long-run service share is
+//     proportional to its weight;
+//   * priority classes form two bands: as in the single-tenant sessions,
+//     no batch-class request is served while any tenant has interactive
+//     work queued. DWRR arbitrates *within* the band; the deficit is one
+//     per-tenant account spent in either band;
+//   * a tenant's deficit resets when its queue drains (classic DWRR: idle
+//     tenants cannot bank credit), and the whole per-tenant entry is
+//     reclaimed once it has nothing queued and nothing in flight — tenants
+//     are created lazily on first push, so the scheduler costs nothing for
+//     traffic that never names a tenant;
+//   * retries never jump the line: a retried request is still owned by its
+//     router worker (it does not re-enter any queue), and charge() bills
+//     the extra attempt against the tenant's deficit, so a tenant whose
+//     traffic keeps faulting pays for its own re-execution with its future
+//     share;
+//   * per-tenant admission quotas ride on the same per-tenant counters:
+//     decide() evaluates the tenant's own AdmissionPolicy (depth, batch
+//     depth, outstanding cost — an AdmissionController per tenant) against
+//     that tenant's queue only, on top of whatever global policy the
+//     session enforces. A flooding tenant runs into *its own* quota and is
+//     shed with QueueFull while everyone else's admission is untouched.
+//
+// Like AdmissionController, the scheduler holds no lock of its own: the
+// owning session serializes every call under its mutex, which makes the
+// DWRR state machine deterministic and directly unit-testable with plain
+// cost sequences (tests/test_fair_queue.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.hpp"
+
+namespace salo {
+
+/// Per-tenant service share and admission limits. The default-constructed
+/// quota is weight 1 with unbounded admission — exactly the pre-tenant
+/// behavior.
+struct TenantQuota {
+    /// Relative DWRR service share (> 0). A weight-2 tenant backlogged
+    /// against a weight-1 tenant is served twice the cost per round.
+    double weight = 1.0;
+    /// Per-tenant admission limits evaluated against this tenant's queue
+    /// only (core/admission.hpp; all-zero = unbounded). The mode decides
+    /// whether an over-quota submit waits or sheds with QueueFull.
+    AdmissionPolicy admission;
+};
+
+struct FairQueueOptions {
+    /// Deficit top-up per round, in cost units, scaled by the tenant
+    /// weight. 0 (default) adapts to the largest request cost seen, so any
+    /// single request becomes affordable within one top-up round.
+    std::uint64_t quantum = 0;
+    /// Quota for tenants not named in `tenants` (including the default ""
+    /// tenant of requests that never set tenant_id).
+    TenantQuota default_quota;
+    /// Per-tenant overrides, keyed by AttentionRequest::tenant_id.
+    std::map<std::string, TenantQuota> tenants;
+};
+
+/// Introspection snapshot of one live tenant entry (tests, debugging).
+struct TenantQueueSnapshot {
+    std::size_t queued_interactive = 0;
+    std::size_t queued_batch = 0;
+    std::uint64_t queued_cost = 0;
+    std::uint64_t in_flight_cost = 0;
+    std::int64_t deficit = 0;
+};
+
+class FairScheduler {
+public:
+    explicit FairScheduler(FairQueueOptions options = {});
+
+    /// The quota that applies to `tenant` (override or default).
+    const TenantQuota& quota(const std::string& tenant) const;
+
+    /// Per-tenant admission decision for one request of `cost` units —
+    /// pure, like AdmissionController::decide; the caller combines it with
+    /// its global policy and implements wait/reject.
+    AdmissionDecision decide(const std::string& tenant, Priority priority,
+                             std::uint64_t cost) const;
+
+    /// Commit an admitted request into the tenant's queue (FIFO per
+    /// class). Creates the tenant entry lazily.
+    void push(const std::string& tenant, Priority priority, std::uint64_t cost);
+
+    /// The DWRR pick: which tenant's head-of-line request runs next. The
+    /// caller owns the actual request objects and must dequeue the front of
+    /// exactly this (tenant, priority) queue. The picked cost moves from
+    /// queued to in-flight; release() ends its life.
+    struct Pick {
+        std::string tenant;
+        Priority priority = Priority::interactive;
+        std::uint64_t cost = 0;
+    };
+    std::optional<Pick> pop();
+
+    /// A previously popped request resolved (any outcome): release its
+    /// in-flight cost and reclaim the tenant entry if it is now idle.
+    void release(const std::string& tenant, std::uint64_t cost);
+
+    /// Bill an extra execution attempt (a retry after a shard fault) to the
+    /// tenant's deficit: the request itself never re-enters a queue, and
+    /// the debit means the tenant's *next* requests wait until the deficit
+    /// is earned back — fairness survives retries and failover.
+    void charge(const std::string& tenant, std::uint64_t cost);
+
+    bool empty() const { return queued_interactive_ + queued_batch_ == 0; }
+    std::size_t queued(Priority priority) const {
+        return priority == Priority::interactive ? queued_interactive_ : queued_batch_;
+    }
+    std::size_t queued_total() const { return queued_interactive_ + queued_batch_; }
+    std::uint64_t queued_cost() const { return queued_cost_; }
+
+    /// Live per-tenant entries (lazily created, reclaimed when idle).
+    std::size_t active_tenants() const { return tenants_.size(); }
+    std::optional<TenantQueueSnapshot> tenant_snapshot(const std::string& tenant) const;
+
+private:
+    struct Tenant {
+        std::deque<std::uint64_t> interactive;  ///< queued request costs, FIFO
+        std::deque<std::uint64_t> batch;
+        std::uint64_t queued_cost = 0;
+        std::uint64_t in_flight_cost = 0;
+        std::size_t in_flight = 0;
+        /// Spendable service credit. Signed: charge() (retry billing) may
+        /// drive it negative, and the tenant earns its way back before its
+        /// next head is served.
+        std::int64_t deficit = 0;
+    };
+
+    std::deque<std::uint64_t>& class_queue(Tenant& t, Priority p) const {
+        return p == Priority::interactive ? t.interactive : t.batch;
+    }
+    /// One deficit top-up for this tenant (>= 1 so progress is guaranteed).
+    std::int64_t top_up(const std::string& tenant) const;
+    /// Drop the ring slot / whole entry of a tenant that went idle.
+    void reclaim_if_idle(const std::string& tenant);
+
+    FairQueueOptions options_;
+    std::uint64_t adaptive_quantum_ = 1;  ///< largest cost seen (quantum == 0)
+    std::unordered_map<std::string, Tenant> tenants_;
+    /// Tenants with queued work, in ring order; the cursor is where the
+    /// next pop() starts scanning.
+    std::vector<std::string> ring_;
+    std::size_t cursor_ = 0;
+
+    std::size_t queued_interactive_ = 0;
+    std::size_t queued_batch_ = 0;
+    std::uint64_t queued_cost_ = 0;
+};
+
+}  // namespace salo

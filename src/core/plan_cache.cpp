@@ -1,8 +1,23 @@
 #include "core/plan_cache.hpp"
 
+#include <utility>
+
 namespace salo {
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+PlanCache::PlanCache(std::size_t capacity, PlanCompileFn compile_fn)
+    : capacity_(capacity == 0 ? 1 : capacity), compile_fn_(std::move(compile_fn)) {
+    if (!compile_fn_) {
+        compile_fn_ = [](const HybridPattern& pattern, int head_dim,
+                         const SaloConfig& config) {
+            return compile_shared(pattern, head_dim, config);
+        };
+    }
+}
+
+void PlanCache::attach_shared_store(std::shared_ptr<PlanCache> store) {
+    std::lock_guard<std::mutex> lock(m_);
+    shared_ = std::move(store);
+}
 
 bool PlanCache::matches(const CompiledPlan& cached, const HybridPattern& pattern,
                         int head_dim, const SaloConfig& config) const {
@@ -31,12 +46,17 @@ CompiledPlanPtr PlanCache::get_or_compile(const HybridPattern& pattern, int head
 
     ++misses_;
     inflight_.insert(key);
+    const std::shared_ptr<PlanCache> shared = shared_;
     lock.unlock();
 
-    // Compile outside the lock: a miss must not stall concurrent hits.
+    // Resolve the miss outside the lock — through the shared store when one
+    // is attached (its own in-flight dedup makes the compile tier-wide
+    // unique), otherwise by running the scheduler here. Either way a slow
+    // resolution must not stall concurrent hits.
     CompiledPlanPtr fresh;
     try {
-        fresh = compile_shared(pattern, head_dim, config);
+        fresh = shared ? shared->get_or_compile(pattern, head_dim, config)
+                       : compile_fn_(pattern, head_dim, config);
     } catch (...) {
         // Unregister and wake waiters so one of them can take over as
         // leader (or hit a cached colliding entry); the error goes to our
@@ -48,6 +68,11 @@ CompiledPlanPtr PlanCache::get_or_compile(const HybridPattern& pattern, int head
     }
 
     lock.lock();
+    if (shared) {
+        ++shared_resolved_;
+    } else {
+        ++compiles_;
+    }
     inflight_.erase(key);
     const auto it = by_key_.find(key);
     if (it != by_key_.end()) {
@@ -82,6 +107,8 @@ PlanCacheStats PlanCache::stats() const {
     PlanCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
+    s.compiles = compiles_;
+    s.shared_resolved = shared_resolved_;
     s.evictions = evictions_;
     s.size = lru_.size();
     s.capacity = capacity_;

@@ -11,6 +11,17 @@
 // the leader's compile throws, waiters wake, find no entry, and the next
 // one becomes the new leader, so a failed compile never wedges the key.
 //
+// Shared tier: a cache may be attached to a shared read-mostly store —
+// another PlanCache, typically owned by a ShardedSession and attached to
+// every shard's local cache. A local miss then resolves through the shared
+// store (which dedups in-flight compiles tier-wide) instead of running the
+// scheduler locally, so N shards compiling one shape cost one scheduler
+// pass, not N. Lock order is strictly local → shared (the local lock is
+// dropped before the shared call), so hits on either cache never block on
+// the other's compile. stats().compiles counts scheduler passes executed
+// by *this* cache — with a shared store attached, a shard cache's compiles
+// stays 0 and the shared store's compiles is the tier-wide pass count.
+//
 // Collisions: the fingerprint hashes the full scheduling input, but a
 // 64-bit hash can in principle collide. Every hit re-checks structural
 // equality (pattern, head_dim, geometry, options) against the cached plan;
@@ -20,7 +31,9 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,6 +45,9 @@ namespace salo {
 struct PlanCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;      ///< includes fingerprint collisions
+    std::uint64_t compiles = 0;    ///< scheduler passes run by THIS cache
+    /// Of misses: resolved by the attached shared store (no local compile).
+    std::uint64_t shared_resolved = 0;
     std::uint64_t evictions = 0;   ///< LRU capacity evictions
     std::size_t size = 0;
     std::size_t capacity = 0;
@@ -42,14 +58,24 @@ struct PlanCacheStats {
     }
 };
 
+/// The compile step a cache runs on a miss. Defaults to compile_shared;
+/// tests substitute throwing/counting fakes to exercise the dedup paths.
+using PlanCompileFn =
+    std::function<CompiledPlanPtr(const HybridPattern&, int, const SaloConfig&)>;
+
 class PlanCache {
 public:
-    explicit PlanCache(std::size_t capacity = 64);
+    explicit PlanCache(std::size_t capacity = 64, PlanCompileFn compile_fn = {});
 
     /// The cached plan for (pattern, head_dim, config geometry/options),
     /// compiling and inserting it on a miss. Never returns null.
     CompiledPlanPtr get_or_compile(const HybridPattern& pattern, int head_dim,
                                    const SaloConfig& config);
+
+    /// Route this cache's misses through `store` (tier-wide compile dedup).
+    /// Passing nullptr detaches. Not thread-safe against concurrent
+    /// get_or_compile — attach at wiring time, before traffic.
+    void attach_shared_store(std::shared_ptr<PlanCache> store);
 
     /// The cached plan for `fingerprint`, or null. Does not touch LRU order
     /// or the hit/miss counters (introspection only).
@@ -69,11 +95,15 @@ private:
     mutable std::mutex m_;
     std::condition_variable cv_compiled_;  ///< an in-flight compile finished
     std::size_t capacity_;
+    PlanCompileFn compile_fn_;
+    std::shared_ptr<PlanCache> shared_;  ///< optional tier-wide store
     LruList lru_;
     std::unordered_map<std::uint64_t, LruList::iterator> by_key_;
     std::unordered_set<std::uint64_t> inflight_;  ///< keys being compiled now
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t compiles_ = 0;
+    std::uint64_t shared_resolved_ = 0;
     std::uint64_t evictions_ = 0;
 };
 

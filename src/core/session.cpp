@@ -130,8 +130,11 @@ std::future<LayerResult> SaloSession::submit(AttentionRequest request) {
             }
             // decision == wait
             if (policy.mode == AdmissionMode::block_with_timeout) {
-                if (cv_space_.wait_until(lock, admission_deadline) ==
-                    std::cv_status::timeout) {
+                ++waiting_submits_;
+                const std::cv_status wait_status =
+                    cv_space_.wait_until(lock, admission_deadline);
+                --waiting_submits_;
+                if (wait_status == std::cv_status::timeout) {
                     if (admission_.decide(snapshot_locked(), priority, pending.cost) ==
                         AdmissionDecision::admit)
                         break;
@@ -143,7 +146,9 @@ std::future<LayerResult> SaloSession::submit(AttentionRequest request) {
                     return future;
                 }
             } else {
+                ++waiting_submits_;
                 cv_space_.wait(lock);
+                --waiting_submits_;
             }
         }
 
@@ -359,7 +364,22 @@ void SaloSession::close() {
     }
     cv_work_.notify_all();
     cv_space_.notify_all();
-    if (to_join.joinable()) to_join.join();
+    if (to_join.joinable()) {
+        to_join.join();
+#ifndef NDEBUG
+        // Conservation law at the source: with the dispatcher joined and no
+        // submitter parked in an admission wait, every accepted request must
+        // have resolved exactly one way. Debug/sanitizer builds fail loudly
+        // here so an accounting bug dies in the test that caused it instead
+        // of surfacing as a bench-gate failure later.
+        std::lock_guard<std::mutex> lock(m_);
+        if (waiting_submits_ == 0) {
+            SALO_DEBUG_ASSERT(completed_ + failed_ + rejected_ + timed_out_ +
+                                  cancelled_ ==
+                              submitted_);
+        }
+#endif
+    }
 }
 
 SessionStats SaloSession::stats() const {

@@ -76,6 +76,11 @@ struct AttentionRequest {
     /// full queue budget; batch requests shed first under overload.
     Priority priority = Priority::interactive;
 
+    /// Owning tenant for fair scheduling and per-tenant quotas in the
+    /// sharded tier (core/fair_queue.hpp). Empty = the default tenant;
+    /// single-tenant sessions and plain SaloSession ignore it entirely.
+    std::string tenant_id;
+
     /// Absolute deadline. Expired requests never reach the engine pool:
     /// they are shed at dispatch and their future fails with
     /// DeadlineExceeded; mid-flight expiry stops at the next tile boundary.
@@ -135,6 +140,25 @@ struct SessionStats {
 
     /// Every accepted submit() resolves exactly one way; this is the
     /// conservation law tests assert.
+    std::uint64_t accounted() const {
+        return completed + failed + rejected + timed_out + cancelled;
+    }
+};
+
+/// Per-tenant slice of the serving counters (core/shard_router.hpp:
+/// ShardedSession::tenant_stats()). Obeys the same conservation law as
+/// SessionStats; summing every tenant's counters reproduces the global
+/// stats for the fields below.
+struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected = 0;   ///< shed against this tenant's own quota or the global one
+    std::uint64_t timed_out = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t retried = 0;    ///< extra attempts billed to this tenant's deficit
+    std::uint64_t failed_over = 0;
+
     std::uint64_t accounted() const {
         return completed + failed + rejected + timed_out + cancelled;
     }
@@ -210,6 +234,10 @@ private:
     std::uint64_t queued_cost_ = 0;
     std::uint64_t in_flight_cost_ = 0;
     std::size_t in_flight_ = 0;
+    /// Submitters parked in an admission wait (counted in submitted_ but
+    /// not yet resolved); close() skips the conservation debug-assert
+    /// while any exist, since their accounting is legitimately in flight.
+    std::size_t waiting_submits_ = 0;
     bool closed_ = false;
 
     std::uint64_t submitted_ = 0;

@@ -21,13 +21,20 @@ void fail_promise(std::promise<LayerResult>& promise, Error error) {
     promise.set_exception(std::make_exception_ptr(std::move(error)));
 }
 
+/// task_queues_ index for a priority class.
+std::size_t band_index(Priority p) { return p == Priority::interactive ? 0 : 1; }
+
 }  // namespace
 
 ShardedSession::ShardedSession(const SaloConfig& config, ShardedSessionOptions options)
     : options_(std::move(options)),
-      health_(std::max(options_.num_shards, 1), options_.health) {
+      health_(std::max(options_.num_shards, 1), options_.health),
+      sched_(options_.fairness) {
     SALO_EXPECTS(options_.num_shards >= 1);
     SALO_EXPECTS(options_.retry.max_attempts >= 1);
+    if (options_.shared_plan_store)
+        shared_store_ = std::make_shared<PlanCache>(
+            static_cast<std::size_t>(std::max(1, config.plan_cache_capacity)));
     shards_.reserve(static_cast<std::size_t>(options_.num_shards));
     for (int i = 0; i < options_.num_shards; ++i) {
         SaloConfig shard_config = config;
@@ -35,6 +42,7 @@ ShardedSession::ShardedSession(const SaloConfig& config, ShardedSessionOptions o
         if (idx < options_.shard_fault_injectors.size() &&
             options_.shard_fault_injectors[idx] != nullptr)
             shard_config.fault_injector = options_.shard_fault_injectors[idx];
+        shard_config.shared_plan_store = shared_store_;
         shards_.push_back(std::make_unique<Shard>(shard_config));
     }
     const int workers =
@@ -53,9 +61,9 @@ CompiledPlanPtr ShardedSession::compile(const HybridPattern& pattern,
 
 AdmissionSnapshot ShardedSession::snapshot_locked() const {
     AdmissionSnapshot s;
-    s.queued_interactive = queue_interactive_.size();
-    s.queued_batch = queue_batch_.size();
-    s.outstanding_cost = queued_cost_ + in_flight_cost_;
+    s.queued_interactive = sched_.queued(Priority::interactive);
+    s.queued_batch = sched_.queued(Priority::batch);
+    s.outstanding_cost = sched_.queued_cost() + in_flight_cost_;
     return s;
 }
 
@@ -80,6 +88,7 @@ std::future<LayerResult> ShardedSession::submit(AttentionRequest request) {
     task.request = std::move(request);
     std::future<LayerResult> future = task.promise.get_future();
     const Priority priority = task.request.priority;
+    const std::string tenant = task.request.tenant_id;
 
     {
         std::unique_lock<std::mutex> lock(m_);
@@ -88,13 +97,52 @@ std::future<LayerResult> ShardedSession::submit(AttentionRequest request) {
                 "ShardedSession: submit() after close() — the tier is closed and no "
                 "longer accepts requests");
         ++submitted_;
+        ++tenant_stats_[tenant].submitted;
         task.id = next_task_id_++;
 
-        const Clock::time_point admission_deadline =
-            Clock::now() + options_.admission.block_timeout;
+        // Combined admission: the global scaled policy (degradation-aware:
+        // limits shrink with the healthy-shard fraction) AND the tenant's
+        // own quota, strictest outcome wins. A flooding tenant trips its
+        // quota while everyone else's admission never sees it.
+        struct Combined {
+            AdmissionDecision decision;
+            bool tenant_limited;
+            int healthy;
+        };
+        auto decide_combined = [&]() -> Combined {
+            const int healthy = health_.healthy_count(Clock::now());
+            const AdmissionController global(scaled_policy(
+                options_.admission, healthy, static_cast<int>(shards_.size())));
+            const AdmissionDecision g =
+                global.decide(snapshot_locked(), priority, task.cost);
+            const AdmissionDecision t = sched_.decide(tenant, priority, task.cost);
+            if (g == AdmissionDecision::reject || t == AdmissionDecision::reject)
+                return {AdmissionDecision::reject, t == AdmissionDecision::reject,
+                        healthy};
+            if (g == AdmissionDecision::wait || t == AdmissionDecision::wait)
+                return {AdmissionDecision::wait,
+                        t == AdmissionDecision::wait && g == AdmissionDecision::admit,
+                        healthy};
+            return {AdmissionDecision::admit, false, healthy};
+        };
+
+        // The wait bound, when any applicable policy is block_with_timeout:
+        // the tighter of the timeouts that can put this request to sleep.
+        const AdmissionPolicy& tenant_policy = sched_.quota(tenant).admission;
+        bool timed_wait = options_.admission.mode == AdmissionMode::block_with_timeout;
+        std::chrono::milliseconds wait_budget = options_.admission.block_timeout;
+        if (tenant_policy.mode == AdmissionMode::block_with_timeout) {
+            wait_budget = timed_wait
+                              ? std::min(wait_budget, tenant_policy.block_timeout)
+                              : tenant_policy.block_timeout;
+            timed_wait = true;
+        }
+        const Clock::time_point admission_deadline = Clock::now() + wait_budget;
+
         for (;;) {
             if (closed_) {
                 ++rejected_;
+                ++tenant_stats_[tenant].rejected;
                 fail_promise(task.promise,
                              SessionClosed("ShardedSession: tier closed while the "
                                            "request waited for admission"));
@@ -103,40 +151,39 @@ std::future<LayerResult> ShardedSession::submit(AttentionRequest request) {
             if (task.request.deadline && Clock::now() > *task.request.deadline) {
                 ++timed_out_;
                 ++shed_expired_;
+                ++tenant_stats_[tenant].timed_out;
                 fail_promise(task.promise,
                              DeadlineExceeded("request deadline expired while waiting "
                                               "for admission"));
                 return future;
             }
-            // Degradation-aware admission: the policy's limits shrink with
-            // the healthy-shard fraction, so a half-quarantined tier sheds
-            // earlier instead of queueing work it cannot serve in time.
-            const int healthy = health_.healthy_count(Clock::now());
-            const AdmissionController admission(scaled_policy(
-                options_.admission, healthy, static_cast<int>(shards_.size())));
-            const AdmissionDecision decision =
-                admission.decide(snapshot_locked(), priority, task.cost);
-            if (decision == AdmissionDecision::admit) break;
-            if (decision == AdmissionDecision::reject) {
+            const Combined combined = decide_combined();
+            if (combined.decision == AdmissionDecision::admit) break;
+            if (combined.decision == AdmissionDecision::reject) {
                 ++rejected_;
-                fail_promise(task.promise,
-                             QueueFull(std::string("tier admission rejected ") +
-                                       priority_name(priority) + "-class request (" +
-                                       std::to_string(healthy) + "/" +
-                                       std::to_string(shards_.size()) +
-                                       " shards healthy)"));
+                ++tenant_stats_[tenant].rejected;
+                fail_promise(
+                    task.promise,
+                    combined.tenant_limited
+                        ? QueueFull(std::string("tenant quota rejected ") +
+                                    priority_name(priority) +
+                                    "-class request for tenant '" + tenant + "'")
+                        : QueueFull(std::string("tier admission rejected ") +
+                                    priority_name(priority) + "-class request (" +
+                                    std::to_string(combined.healthy) + "/" +
+                                    std::to_string(shards_.size()) +
+                                    " shards healthy)"));
                 return future;
             }
-            if (options_.admission.mode == AdmissionMode::block_with_timeout) {
-                if (cv_space_.wait_until(lock, admission_deadline) ==
-                    std::cv_status::timeout) {
-                    const AdmissionController retry_admission(scaled_policy(
-                        options_.admission, health_.healthy_count(Clock::now()),
-                        static_cast<int>(shards_.size())));
-                    if (retry_admission.decide(snapshot_locked(), priority,
-                                               task.cost) == AdmissionDecision::admit)
-                        break;
+            if (timed_wait) {
+                ++waiting_submits_;
+                const std::cv_status wait_status =
+                    cv_space_.wait_until(lock, admission_deadline);
+                --waiting_submits_;
+                if (wait_status == std::cv_status::timeout) {
+                    if (decide_combined().decision == AdmissionDecision::admit) break;
                     ++rejected_;
+                    ++tenant_stats_[tenant].rejected;
                     fail_promise(task.promise,
                                  QueueFull(std::string("tier admission wait timed out "
                                                        "for ") +
@@ -144,13 +191,16 @@ std::future<LayerResult> ShardedSession::submit(AttentionRequest request) {
                     return future;
                 }
             } else {
+                ++waiting_submits_;
                 cv_space_.wait(lock);
+                --waiting_submits_;
             }
         }
 
-        queued_cost_ += task.cost;
-        (priority == Priority::interactive ? queue_interactive_ : queue_batch_)
-            .push_back(std::move(task));
+        // Lockstep commit: the scheduler books the cost, the task deque
+        // holds the object — same tenant, same class, FIFO on both sides.
+        sched_.push(tenant, priority, task.cost);
+        task_queues_[tenant][band_index(priority)].push_back(std::move(task));
     }
     cv_work_.notify_one();
     return future;
@@ -174,18 +224,23 @@ void ShardedSession::worker_main() {
         Task task;
         {
             std::unique_lock<std::mutex> lock(m_);
-            cv_work_.wait(lock, [this] {
-                return closed_ || !queue_interactive_.empty() || !queue_batch_.empty();
-            });
-            if (queue_interactive_.empty() && queue_batch_.empty()) {
+            cv_work_.wait(lock, [this] { return closed_ || !sched_.empty(); });
+            if (sched_.empty()) {
                 if (closed_) return;
                 continue;
             }
-            std::deque<Task>& q =
-                queue_interactive_.empty() ? queue_batch_ : queue_interactive_;
+            // The DWRR pick names a (tenant, class); the matching Task is
+            // the front of that queue by the lockstep-commit invariant.
+            const std::optional<FairScheduler::Pick> pick = sched_.pop();
+            SALO_ASSERT(pick.has_value());
+            auto queues_it = task_queues_.find(pick->tenant);
+            SALO_ASSERT(queues_it != task_queues_.end());
+            std::deque<Task>& q = queues_it->second[band_index(pick->priority)];
+            SALO_ASSERT(!q.empty() && q.front().cost == pick->cost);
             task = std::move(q.front());
             q.pop_front();
-            queued_cost_ -= task.cost;
+            if (queues_it->second[0].empty() && queues_it->second[1].empty())
+                task_queues_.erase(queues_it);
             in_flight_cost_ += task.cost;
             ++in_flight_;
         }
@@ -195,22 +250,35 @@ void ShardedSession::worker_main() {
             std::lock_guard<std::mutex> lock(m_);
             in_flight_cost_ -= task.cost;
             --in_flight_;
+            sched_.release(task.request.tenant_id, task.cost);
         }
         cv_space_.notify_all();
         cv_idle_.notify_all();
     }
 }
 
-void ShardedSession::finish(Resolution resolution, bool shed_expired) {
+void ShardedSession::finish(const std::string& tenant, Resolution resolution,
+                            bool shed_expired) {
     std::lock_guard<std::mutex> lock(m_);
+    TenantStats& t = tenant_stats_[tenant];
     switch (resolution) {
-        case Resolution::completed: ++completed_; break;
-        case Resolution::failed: ++failed_; break;
+        case Resolution::completed:
+            ++completed_;
+            ++t.completed;
+            break;
+        case Resolution::failed:
+            ++failed_;
+            ++t.failed;
+            break;
         case Resolution::timed_out:
             ++timed_out_;
+            ++t.timed_out;
             if (shed_expired) ++shed_expired_;
             break;
-        case Resolution::cancelled: ++cancelled_; break;
+        case Resolution::cancelled:
+            ++cancelled_;
+            ++t.cancelled;
+            break;
     }
 }
 
@@ -308,17 +376,18 @@ ShardedSession::WaitOutcome ShardedSession::backoff_wait(
 }
 
 void ShardedSession::serve_task(Task& task) {
+    const std::string& tenant = task.request.tenant_id;
     // Shed without touching any shard, mirroring SaloSession's dispatcher.
     if (task.request.cancel.cancelled()) {
         fail_promise(task.promise, RequestCancelled("request cancelled while queued; "
                                                     "shed before dispatch"));
-        finish(Resolution::cancelled);
+        finish(tenant, Resolution::cancelled);
         return;
     }
     if (task.request.deadline && Clock::now() > *task.request.deadline) {
         fail_promise(task.promise, DeadlineExceeded("request deadline expired while "
                                                     "queued; shed before dispatch"));
-        finish(Resolution::timed_out, /*shed_expired=*/true);
+        finish(tenant, Resolution::timed_out, /*shed_expired=*/true);
         return;
     }
 
@@ -327,8 +396,11 @@ void ShardedSession::serve_task(Task& task) {
         ++task.attempts;
         const Clock::time_point attempt_start = Clock::now();
         const int shard_index = pick_shard(task, attempt_start);
-        if (task.attempts > 1 && shard_index != task.last_shard)
+        if (task.attempts > 1 && shard_index != task.last_shard) {
             failed_over_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(m_);
+            ++tenant_stats_[tenant].failed_over;
+        }
         Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
         shard.outstanding_cost.fetch_add(task.cost, std::memory_order_relaxed);
         const int active_here = shard.active.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -365,12 +437,12 @@ void ShardedSession::serve_task(Task& task) {
                                  task.request.scale, run_options);
             release(CircuitBreaker::Outcome::success);
             task.promise.set_value(std::move(result));
-            finish(Resolution::completed);
+            finish(tenant, Resolution::completed);
             return;
         } catch (const RequestCancelled&) {
             release(CircuitBreaker::Outcome::neutral);
             task.promise.set_exception(std::current_exception());
-            finish(Resolution::cancelled);
+            finish(tenant, Resolution::cancelled);
             return;
         } catch (const DeadlineExceeded&) {
             const bool request_expired =
@@ -380,7 +452,7 @@ void ShardedSession::serve_task(Task& task) {
                 // only exceed it further.
                 release(CircuitBreaker::Outcome::neutral);
                 task.promise.set_exception(std::current_exception());
-                finish(Resolution::timed_out);
+                finish(tenant, Resolution::timed_out);
                 return;
             }
             // The stall bound, not the deadline: the shard wedged. Charge
@@ -392,7 +464,7 @@ void ShardedSession::serve_task(Task& task) {
             // Caller bug: deterministic on every shard, never retried.
             release(CircuitBreaker::Outcome::neutral);
             task.promise.set_exception(std::current_exception());
-            finish(Resolution::failed);
+            finish(tenant, Resolution::failed);
             return;
         } catch (const SaloError& e) {
             release(CircuitBreaker::Outcome::failure);
@@ -412,7 +484,7 @@ void ShardedSession::serve_task(Task& task) {
                          EngineFault("retry budget exhausted after " +
                                      std::to_string(task.attempts) +
                                      " attempts; last failure: " + last_fault));
-            finish(Resolution::failed);
+            finish(tenant, Resolution::failed);
             return;
         }
 
@@ -422,26 +494,32 @@ void ShardedSession::serve_task(Task& task) {
                 fail_promise(task.promise,
                              RequestCancelled("request cancelled during retry backoff; "
                                               "not retried"));
-                finish(Resolution::cancelled);
+                finish(tenant, Resolution::cancelled);
                 return;
             case WaitOutcome::deadline:
                 fail_promise(task.promise,
                              DeadlineExceeded("request deadline expired during retry "
                                               "backoff; not retried"));
-                finish(Resolution::timed_out);
+                finish(tenant, Resolution::timed_out);
                 return;
             case WaitOutcome::elapsed:
                 break;
         }
         retried_.fetch_add(1, std::memory_order_relaxed);
+        {
+            // Fairness survives retries: the extra attempt is billed to the
+            // tenant's DWRR deficit (the request itself stays with this
+            // worker — it never re-enters a queue or jumps any line).
+            std::lock_guard<std::mutex> lock(m_);
+            ++tenant_stats_[tenant].retried;
+            sched_.charge(tenant, task.cost);
+        }
     }
 }
 
 void ShardedSession::drain() {
     std::unique_lock<std::mutex> lock(m_);
-    cv_idle_.wait(lock, [this] {
-        return queue_interactive_.empty() && queue_batch_.empty() && in_flight_ == 0;
-    });
+    cv_idle_.wait(lock, [this] { return sched_.empty() && in_flight_ == 0; });
 }
 
 void ShardedSession::close() {
@@ -454,8 +532,35 @@ void ShardedSession::close() {
     }
     cv_work_.notify_all();
     cv_space_.notify_all();
+    const bool joined = !to_join.empty();
     for (std::thread& t : to_join)
         if (t.joinable()) t.join();
+#ifndef NDEBUG
+    if (joined) {
+        // Conservation law at the source, per tenant and globally (see
+        // SaloSession::close() for the waiting-submitter caveat).
+        std::lock_guard<std::mutex> lock(m_);
+        if (waiting_submits_ == 0) {
+            SALO_DEBUG_ASSERT(completed_ + failed_ + rejected_ + timed_out_ +
+                                  cancelled_ ==
+                              submitted_);
+            std::uint64_t tenant_submitted = 0;
+            std::uint64_t tenant_accounted = 0;
+            for (const auto& [name, t] : tenant_stats_) {
+                (void)name;
+                SALO_DEBUG_ASSERT(t.accounted() == t.submitted);
+                tenant_submitted += t.submitted;
+                tenant_accounted += t.accounted();
+            }
+            SALO_DEBUG_ASSERT(tenant_submitted == submitted_);
+            SALO_DEBUG_ASSERT(tenant_accounted ==
+                              completed_ + failed_ + rejected_ + timed_out_ +
+                                  cancelled_);
+        }
+    }
+#else
+    (void)joined;
+#endif
 }
 
 SessionStats ShardedSession::stats() const {
@@ -478,11 +583,24 @@ SessionStats ShardedSession::stats() const {
         const PlanCacheStats pc = shard->engine.plan_cache_stats();
         s.plan_cache.hits += pc.hits;
         s.plan_cache.misses += pc.misses;
+        s.plan_cache.compiles += pc.compiles;
+        s.plan_cache.shared_resolved += pc.shared_resolved;
         s.plan_cache.evictions += pc.evictions;
         s.plan_cache.size += pc.size;
         s.plan_cache.capacity += pc.capacity;
     }
     return s;
+}
+
+std::map<std::string, TenantStats> ShardedSession::tenant_stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return tenant_stats_;
+}
+
+std::optional<TenantQueueSnapshot> ShardedSession::tenant_queue(
+    const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(m_);
+    return sched_.tenant_snapshot(tenant);
 }
 
 std::vector<ShardHealthSnapshot> ShardedSession::shard_health() const {

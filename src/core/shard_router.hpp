@@ -29,7 +29,17 @@
 //   * determinism: every completed result is bit-identical to the
 //     sequential engine run of the same request, regardless of which shard
 //     or retry attempt produced it (all shards share one SaloConfig, and
-//     the engine guarantee is thread-count- and placement-independent).
+//     the engine guarantee is thread-count- and placement-independent);
+//   * tenant isolation (core/fair_queue.hpp): requests carry a tenant_id
+//     and land in per-tenant bounded queues drained by a deficit-weighted
+//     round-robin scheduler, so one tenant's 10x burst cannot monopolize
+//     the router workers — service stays proportional to configured
+//     weights, per-tenant admission quotas shed a flooding tenant against
+//     *its own* limits (everyone else sees zero QueueFull), retries are
+//     billed to the faulting tenant's deficit, and tenant_stats() breaks
+//     the conservation law down per tenant. With shared_plan_store set, the
+//     shards also share one read-mostly compile tier, so a shape compiles
+//     once tier-wide even under least-cost routing;
 //
 // Accounting: the SessionStats conservation law
 //   completed + failed + rejected + timed_out + cancelled == submitted
@@ -40,18 +50,23 @@
 // machine and methodology are documented in docs/RELIABILITY.md.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "core/fair_queue.hpp"
 #include "core/health.hpp"
 #include "core/session.hpp"
 
@@ -105,6 +120,16 @@ struct ShardedSessionOptions {
     /// (missing/null entries leave that shard clean). Overridden per
     /// request by AttentionRequest::fault_injector as usual.
     std::vector<std::shared_ptr<const FaultInjector>> shard_fault_injectors;
+    /// Tenant fairness: DWRR weights, quantum, and per-tenant admission
+    /// quotas (core/fair_queue.hpp). The default is a single unbounded
+    /// weight-1 default tenant — bit-for-bit the pre-tenant behavior for
+    /// traffic that never sets tenant_id.
+    FairQueueOptions fairness;
+    /// Share one read-mostly PlanCache tier across all shards: each
+    /// shard's local cache resolves misses through the shared store, so a
+    /// repeated shape compiles exactly once tier-wide regardless of
+    /// routing. Off by default (consistent_hash already gives affinity).
+    bool shared_plan_store = false;
 };
 
 class ShardedSession {
@@ -140,6 +165,19 @@ public:
     /// failed_over / quarantined_shard_events / reintegrated_shard_events
     /// are live here (always 0 on a plain SaloSession).
     SessionStats stats() const;
+
+    /// Per-tenant breakdown of the serving counters. Entries persist after
+    /// the scheduler reclaims an idle tenant's queue state; summing any
+    /// field over tenants reproduces the global stats() value, and each
+    /// tenant satisfies the conservation law independently.
+    std::map<std::string, TenantStats> tenant_stats() const;
+
+    /// Live scheduler view of one tenant (nullopt once reclaimed).
+    std::optional<TenantQueueSnapshot> tenant_queue(const std::string& tenant) const;
+
+    /// The shared compile tier (null unless options.shared_plan_store).
+    /// Its stats().compiles is the tier-wide scheduler-pass count.
+    std::shared_ptr<PlanCache> shared_plan_store() const { return shared_store_; }
 
     /// Per-shard breaker states and counters.
     std::vector<ShardHealthSnapshot> shard_health() const;
@@ -177,7 +215,8 @@ private:
 
     void worker_main();
     void serve_task(Task& task);
-    void finish(Resolution resolution, bool shed_expired = false);
+    void finish(const std::string& tenant, Resolution resolution,
+                bool shed_expired = false);
     int pick_shard(const Task& task, Clock::time_point now);
     Clock::duration backoff_for(const Task& task) const;
     /// Poll-sleep for `d`, aborting the moment the token fires or the
@@ -187,6 +226,7 @@ private:
     AdmissionSnapshot snapshot_locked() const;
 
     ShardedSessionOptions options_;
+    std::shared_ptr<PlanCache> shared_store_;  ///< before shards_ (they attach to it)
     std::vector<std::unique_ptr<Shard>> shards_;
     mutable HealthSupervisor health_;
 
@@ -194,12 +234,21 @@ private:
     std::condition_variable cv_work_;
     std::condition_variable cv_space_;
     std::condition_variable cv_idle_;
-    std::deque<Task> queue_interactive_;
-    std::deque<Task> queue_batch_;
-    std::uint64_t queued_cost_ = 0;
+    /// DWRR arbiter over per-tenant queues; holds only costs. The actual
+    /// Task objects live in task_queues_, pushed and popped in lockstep
+    /// with the scheduler (same tenant, same class, FIFO), so the
+    /// scheduler's pick always names the front task of that queue.
+    FairScheduler sched_;
+    std::unordered_map<std::string, std::array<std::deque<Task>, 2>> task_queues_;
     std::uint64_t in_flight_cost_ = 0;
     std::size_t in_flight_ = 0;
+    /// Submitters parked in an admission wait (counted in submitted_ but
+    /// not yet resolved); close() skips the conservation debug-assert
+    /// while any exist (see SaloSession::close()).
+    std::size_t waiting_submits_ = 0;
     bool closed_ = false;
+
+    std::map<std::string, TenantStats> tenant_stats_;
 
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "core/compiled_plan.hpp"
 #include "core/engine.hpp"
+#include "core/errors.hpp"
 #include "core/plan_cache.hpp"
 #include "workload/workloads.hpp"
 
@@ -269,6 +272,90 @@ TEST(PlanCacheTest, ConcurrentColdCompileRunsSchedulerOnce) {
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
     EXPECT_EQ(s.size, 1u);
+}
+
+TEST(PlanCacheTest, ThrowingCompileWakesWaitersAndRetries) {
+    // Regression for the in-flight dedup exception path: the leader's
+    // compile throws while another thread is waiting on the same key. The
+    // waiter must be woken, elect itself the new leader, and compile
+    // successfully — not sleep forever on a key nobody is compiling.
+    // (A regression here fails as a ctest hang/timeout.)
+    std::atomic<int> calls{0};
+    std::atomic<bool> waiter_started{false};
+    PlanCache cache(8, [&](const HybridPattern& pattern, int head_dim,
+                           const SaloConfig& config) -> CompiledPlanPtr {
+        if (calls.fetch_add(1) == 0) {
+            // First (leader) call: hold until the second thread has at
+            // least called into the cache — it then waits on the in-flight
+            // key — and fail.
+            while (!waiter_started.load()) std::this_thread::yield();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            throw EngineFault("injected compile failure");
+        }
+        return compile_shared(pattern, head_dim, config);
+    });
+    const SaloConfig config;
+    const HybridPattern p = longformer(64, 8, 1);
+
+    std::atomic<bool> leader_threw{false};
+    std::thread leader([&] {
+        try {
+            cache.get_or_compile(p, 16, config);
+        } catch (const EngineFault&) {
+            leader_threw.store(true);
+        }
+    });
+    CompiledPlanPtr adopted;
+    std::thread waiter([&] {
+        waiter_started.store(true);
+        adopted = cache.get_or_compile(p, 16, config);
+    });
+    leader.join();
+    waiter.join();
+
+    EXPECT_TRUE(leader_threw.load());  // the error reached the leader's caller
+    ASSERT_NE(adopted, nullptr);       // the waiter recovered and compiled
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 2u);    // both threads missed (no artifact to adopt)
+    EXPECT_EQ(s.compiles, 1u);  // only the successful compile counts
+    EXPECT_EQ(s.size, 1u);
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(PlanCacheTest, SharedStoreCompilesOnceAcrossCaches) {
+    // Four "shard" caches attached to one shared store: the same shape
+    // resolved through each local cache runs the scheduler exactly once
+    // tier-wide (in the shared store), and every cache hands out the same
+    // artifact.
+    auto store = std::make_shared<PlanCache>(8);
+    std::vector<std::unique_ptr<PlanCache>> locals;
+    for (int i = 0; i < 4; ++i) {
+        locals.push_back(std::make_unique<PlanCache>(8));
+        locals.back()->attach_shared_store(store);
+    }
+    const SaloConfig config;
+    const HybridPattern p = longformer(64, 8, 1);
+
+    std::vector<CompiledPlanPtr> got;
+    for (auto& local : locals) got.push_back(local->get_or_compile(p, 16, config));
+    for (std::size_t i = 1; i < got.size(); ++i) EXPECT_EQ(got[0], got[i]);
+
+    EXPECT_EQ(store->stats().compiles, 1u);  // one scheduler pass tier-wide
+    EXPECT_EQ(store->stats().misses, 1u);
+    EXPECT_EQ(store->stats().hits, 3u);
+    for (auto& local : locals) {
+        const PlanCacheStats s = local->stats();
+        EXPECT_EQ(s.compiles, 0u);  // locals never ran the scheduler
+        EXPECT_EQ(s.misses, 1u);
+        EXPECT_EQ(s.shared_resolved, 1u);
+        EXPECT_EQ(s.size, 1u);
+    }
+
+    // Second sight is a pure local hit — the shared store is not touched.
+    const std::uint64_t store_lookups = store->stats().hits + store->stats().misses;
+    for (auto& local : locals) EXPECT_EQ(local->get_or_compile(p, 16, config), got[0]);
+    EXPECT_EQ(store->stats().hits + store->stats().misses, store_lookups);
+    for (auto& local : locals) EXPECT_EQ(local->stats().hits, 1u);
 }
 
 TEST(PlanCacheTest, PeekDoesNotCountOrReorder) {

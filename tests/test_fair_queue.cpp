@@ -1,0 +1,243 @@
+// FairScheduler (core/fair_queue.hpp): the DWRR state machine, driven
+// synchronously with plain cost sequences — no sessions, no threads. The
+// integration with ShardedSession (per-tenant queues feeding router
+// workers, quota shed, retry billing end to end) is covered in
+// tests/test_shard_router.cpp and the noisy-neighbor soak.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/fair_queue.hpp"
+
+namespace salo {
+namespace {
+
+/// Drain `n` picks and return the served tenant names in order.
+std::vector<std::string> pop_n(FairScheduler& s, int n) {
+    std::vector<std::string> served;
+    for (int i = 0; i < n; ++i) {
+        auto pick = s.pop();
+        if (!pick) break;
+        served.push_back(pick->tenant);
+    }
+    return served;
+}
+
+int count_of(const std::vector<std::string>& served, const std::string& who) {
+    int n = 0;
+    for (const auto& s : served)
+        if (s == who) ++n;
+    return n;
+}
+
+TEST(FairScheduler, SingleTenantIsFifo) {
+    FairScheduler s;
+    s.push("a", Priority::interactive, 10);
+    s.push("a", Priority::interactive, 20);
+    s.push("a", Priority::interactive, 30);
+    EXPECT_EQ(s.queued_total(), 3u);
+    EXPECT_EQ(s.queued_cost(), 60u);
+
+    for (std::uint64_t expect : {10u, 20u, 30u}) {
+        auto pick = s.pop();
+        ASSERT_TRUE(pick.has_value());
+        EXPECT_EQ(pick->tenant, "a");
+        EXPECT_EQ(pick->cost, expect);
+    }
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.pop().has_value());
+}
+
+TEST(FairScheduler, InteractiveBandServedBeforeBatch) {
+    FairScheduler s;
+    // Tenant "bg" floods the batch class first; "fg" arrives later with
+    // interactive work. Strict band priority: every interactive request is
+    // served before any batch request, regardless of arrival order.
+    for (int i = 0; i < 4; ++i) s.push("bg", Priority::batch, 10);
+    s.push("fg", Priority::interactive, 10);
+    s.push("fg", Priority::interactive, 10);
+
+    auto served = pop_n(s, 6);
+    ASSERT_EQ(served.size(), 6u);
+    EXPECT_EQ(served[0], "fg");
+    EXPECT_EQ(served[1], "fg");
+    for (int i = 2; i < 6; ++i) EXPECT_EQ(served[i], "bg");
+}
+
+TEST(FairScheduler, EqualWeightsRoundRobin) {
+    FairScheduler s;
+    for (int i = 0; i < 3; ++i) {
+        s.push("a", Priority::interactive, 10);
+        s.push("b", Priority::interactive, 10);
+        s.push("c", Priority::interactive, 10);
+    }
+    auto served = pop_n(s, 9);
+    ASSERT_EQ(served.size(), 9u);
+    // Equal weights, equal costs: strict rotation in ring (arrival) order.
+    const std::vector<std::string> expect = {"a", "b", "c", "a", "b",
+                                             "c", "a", "b", "c"};
+    EXPECT_EQ(served, expect);
+}
+
+TEST(FairScheduler, ServiceProportionalToWeight) {
+    FairQueueOptions opt;
+    opt.tenants["heavy"].weight = 2.0;
+    opt.tenants["light"].weight = 1.0;
+    FairScheduler s(opt);
+    // Both backlogged with identical unit costs: the long-run service
+    // ratio must track the 2:1 weights.
+    for (int i = 0; i < 40; ++i) {
+        s.push("heavy", Priority::interactive, 10);
+        s.push("light", Priority::interactive, 10);
+    }
+    auto served = pop_n(s, 30);
+    ASSERT_EQ(served.size(), 30u);
+    const int heavy = count_of(served, "heavy");
+    const int light = count_of(served, "light");
+    EXPECT_EQ(heavy + light, 30);
+    // 2:1 → 20 vs 10 exactly on a clean backlog; allow one round of slack.
+    EXPECT_NEAR(static_cast<double>(heavy) / static_cast<double>(light), 2.0, 0.25);
+}
+
+TEST(FairScheduler, BurstCannotMonopolizeTheBand) {
+    FairScheduler s;
+    // "noisy" floods 50 requests before "quiet" ever shows up with one.
+    for (int i = 0; i < 50; ++i) s.push("noisy", Priority::interactive, 10);
+    s.push("quiet", Priority::interactive, 10);
+    // Despite the 50-deep head start, "quiet" is served within one DWRR
+    // round (equal weights, equal costs): at most one "noisy" pick first.
+    auto served = pop_n(s, 3);
+    ASSERT_EQ(served.size(), 3u);
+    EXPECT_TRUE(served[0] == "quiet" || served[1] == "quiet")
+        << served[0] << "," << served[1] << "," << served[2];
+}
+
+TEST(FairScheduler, RetryChargeIsPaidBackBeforeNewService) {
+    FairScheduler s;
+    for (int i = 0; i < 10; ++i) {
+        s.push("a", Priority::interactive, 10);
+        s.push("b", Priority::interactive, 10);
+    }
+    // Serve one from each; "a"'s request then fails and is retried 5 times
+    // (50 cost units of extra service billed to its deficit).
+    auto first = pop_n(s, 2);
+    ASSERT_EQ(count_of(first, "a"), 1);
+    ASSERT_EQ(count_of(first, "b"), 1);
+    for (int i = 0; i < 5; ++i) s.charge("a", 10);
+
+    // "a" must now earn its debt back: the next 5 picks all go to "b".
+    auto next = pop_n(s, 5);
+    ASSERT_EQ(next.size(), 5u);
+    EXPECT_EQ(count_of(next, "b"), 5) << "a was served while in retry debt";
+}
+
+TEST(FairScheduler, DrainResetsBankedCredit) {
+    FairQueueOptions opt;
+    opt.quantum = 100;  // large quantum → big top-ups to bank
+    FairScheduler s(opt);
+    s.push("a", Priority::interactive, 10);
+    auto pick = s.pop();
+    ASSERT_TRUE(pick.has_value());
+    // The queue drained; banked credit (100 - 10 = 90) must be reset so an
+    // idle tenant cannot hoard service for a later burst.
+    auto snap = s.tenant_snapshot("a");
+    ASSERT_TRUE(snap.has_value());  // still in flight, not yet reclaimed
+    EXPECT_EQ(snap->deficit, 0);
+    s.release("a", 10);
+}
+
+TEST(FairScheduler, IdleTenantIsReclaimed) {
+    FairScheduler s;
+    s.push("a", Priority::interactive, 10);
+    s.push("b", Priority::interactive, 20);
+    EXPECT_EQ(s.active_tenants(), 2u);
+
+    auto p1 = s.pop();
+    ASSERT_TRUE(p1.has_value());
+    // Popped but in flight: the entry must survive until release.
+    EXPECT_EQ(s.active_tenants(), 2u);
+    s.release(p1->tenant, p1->cost);
+    EXPECT_EQ(s.active_tenants(), 1u);
+    EXPECT_FALSE(s.tenant_snapshot(p1->tenant).has_value());
+
+    auto p2 = s.pop();
+    ASSERT_TRUE(p2.has_value());
+    s.release(p2->tenant, p2->cost);
+    EXPECT_EQ(s.active_tenants(), 0u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FairScheduler, PerTenantQuotaShedsOnlyTheOffender) {
+    FairQueueOptions opt;
+    opt.tenants["noisy"].admission.mode = AdmissionMode::reject_fast;
+    opt.tenants["noisy"].admission.max_queue = 2;
+    FairScheduler s(opt);
+
+    // The noisy tenant admits up to its own depth, then sheds.
+    EXPECT_EQ(s.decide("noisy", Priority::interactive, 10), AdmissionDecision::admit);
+    s.push("noisy", Priority::interactive, 10);
+    EXPECT_EQ(s.decide("noisy", Priority::interactive, 10), AdmissionDecision::admit);
+    s.push("noisy", Priority::interactive, 10);
+    EXPECT_EQ(s.decide("noisy", Priority::interactive, 10), AdmissionDecision::reject);
+
+    // Another tenant's admission never sees the noisy queue.
+    EXPECT_EQ(s.decide("calm", Priority::interactive, 10), AdmissionDecision::admit);
+}
+
+TEST(FairScheduler, QuotaCountsInFlightCost) {
+    FairQueueOptions opt;
+    opt.tenants["t"].admission.mode = AdmissionMode::reject_fast;
+    opt.tenants["t"].admission.max_outstanding_cost = 25;
+    FairScheduler s(opt);
+
+    s.push("t", Priority::interactive, 10);
+    s.push("t", Priority::interactive, 10);
+    auto pick = s.pop();  // 10 moves from queued to in-flight
+    ASSERT_TRUE(pick.has_value());
+    // queued 10 + in flight 10 = 20; +10 would cross the 25 ceiling, and
+    // in-flight work must count — popping is not an admission loophole.
+    EXPECT_EQ(s.decide("t", Priority::interactive, 10), AdmissionDecision::reject);
+    s.release("t", 10);
+    auto pick2 = s.pop();
+    ASSERT_TRUE(pick2.has_value());
+    s.release("t", 10);
+    EXPECT_EQ(s.decide("t", Priority::interactive, 10), AdmissionDecision::admit);
+}
+
+TEST(FairScheduler, MixedCostsStillProportional) {
+    FairQueueOptions opt;
+    opt.tenants["small"].weight = 1.0;
+    opt.tenants["big"].weight = 1.0;
+    FairScheduler s(opt);
+    // "small" sends many cheap requests, "big" few expensive ones. Equal
+    // weights must mean equal *cost* service, not equal request counts.
+    for (int i = 0; i < 64; ++i) s.push("small", Priority::interactive, 5);
+    for (int i = 0; i < 8; ++i) s.push("big", Priority::interactive, 40);
+
+    std::map<std::string, std::uint64_t> served_cost;
+    for (int i = 0; i < 48; ++i) {
+        auto pick = s.pop();
+        ASSERT_TRUE(pick.has_value());
+        served_cost[pick->tenant] += pick->cost;
+    }
+    const double ratio = static_cast<double>(served_cost["small"]) /
+                         static_cast<double>(served_cost["big"]);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(FairScheduler, RejectsNonPositiveWeights) {
+    FairQueueOptions opt;
+    opt.default_quota.weight = 0.0;
+    EXPECT_THROW(FairScheduler{opt}, ContractViolation);
+
+    FairQueueOptions opt2;
+    opt2.tenants["x"].weight = -1.0;
+    EXPECT_THROW(FairScheduler{opt2}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace salo

@@ -569,6 +569,235 @@ TEST(ScaledPolicy, ShrinksLimitsProportionallyNeverBelowOne) {
     EXPECT_EQ(scaled_policy(base, 0, 4).max_queue, 1u);
 }
 
+TEST(ScaledPolicy, BoundaryHealthCounts) {
+    AdmissionPolicy base;
+    base.max_queue = 32;
+    base.max_queue_batch = 8;
+    base.max_outstanding_cost = 1000;
+
+    // Zero healthy shards: every bounded limit clamps to the floor of one —
+    // the tier still admits a trickle for the forced health probes.
+    const AdmissionPolicy dead = scaled_policy(base, 0, 4);
+    EXPECT_EQ(dead.max_queue, 1u);
+    EXPECT_EQ(dead.max_queue_batch, 1u);
+    EXPECT_EQ(dead.max_outstanding_cost, 1u);
+
+    // One healthy shard: proportional share, still >= 1 everywhere.
+    const AdmissionPolicy one = scaled_policy(base, 1, 4);
+    EXPECT_EQ(one.max_queue, 8u);
+    EXPECT_EQ(one.max_queue_batch, 2u);
+    EXPECT_EQ(one.max_outstanding_cost, 250u);
+
+    // Rounding must never shrink admission below one interactive slot:
+    // 3 * 1 / 4 truncates to 0 and must clamp to 1, for every limit kind.
+    AdmissionPolicy small;
+    small.max_queue = 3;
+    small.max_queue_batch = 3;
+    small.max_outstanding_cost = 3;
+    const AdmissionPolicy floored = scaled_policy(small, 1, 4);
+    EXPECT_EQ(floored.max_queue, 1u);
+    EXPECT_EQ(floored.max_queue_batch, 1u);
+    EXPECT_EQ(floored.max_outstanding_cost, 1u);
+
+    // Degenerate inputs: negative healthy behaves like zero; a nonsense
+    // total (<= 0) and healthy >= total leave the policy untouched.
+    EXPECT_EQ(scaled_policy(base, -3, 4).max_queue, 1u);
+    EXPECT_EQ(scaled_policy(base, 2, 0).max_queue, 32u);
+    EXPECT_EQ(scaled_policy(base, 9, 4).max_queue, 32u);
+
+    // Unbounded (0) limits are never turned into bounds by scaling.
+    AdmissionPolicy unbounded;
+    EXPECT_EQ(scaled_policy(unbounded, 0, 4).max_queue, 0u);
+    EXPECT_EQ(scaled_policy(unbounded, 0, 4).max_outstanding_cost, 0u);
+}
+
+// -------------------------------------------------------------------------
+// Tenant fairness layer (core/fair_queue.hpp wired into the router).
+// -------------------------------------------------------------------------
+
+TEST(TenantFairness, PerTenantStatsBreakdownSumsToGlobal) {
+    ShardedSessionOptions options;
+    options.num_shards = 2;
+    ShardedSession tier(serving_config(1), options);
+    const Work work;
+
+    for (int i = 0; i < 3; ++i) {
+        AttentionRequest r = work.request();
+        r.tenant_id = "alpha";
+        EXPECT_EQ(tier.submit(std::move(r)).get().output.count(), 1);
+    }
+    for (int i = 0; i < 2; ++i) {
+        AttentionRequest r = work.request();
+        r.tenant_id = "beta";
+        EXPECT_EQ(tier.submit(std::move(r)).get().output.count(), 1);
+    }
+    EXPECT_EQ(tier.submit(work.request()).get().output.count(), 1);  // default tenant
+    tier.close();
+
+    const auto per_tenant = tier.tenant_stats();
+    ASSERT_EQ(per_tenant.size(), 3u);
+    EXPECT_EQ(per_tenant.at("alpha").submitted, 3u);
+    EXPECT_EQ(per_tenant.at("alpha").completed, 3u);
+    EXPECT_EQ(per_tenant.at("beta").submitted, 2u);
+    EXPECT_EQ(per_tenant.at("beta").completed, 2u);
+    EXPECT_EQ(per_tenant.at("").submitted, 1u);
+
+    const SessionStats s = tier.stats();
+    expect_conserved(s);
+    std::uint64_t submitted = 0, completed = 0;
+    for (const auto& [name, t] : per_tenant) {
+        EXPECT_EQ(t.accounted(), t.submitted) << "tenant " << name;
+        submitted += t.submitted;
+        completed += t.completed;
+    }
+    EXPECT_EQ(submitted, s.submitted);
+    EXPECT_EQ(completed, s.completed);
+}
+
+TEST(TenantFairness, IdleTenantQueueStateIsReclaimedStatsPersist) {
+    ShardedSession tier(serving_config(1), {});
+    const Work work;
+    AttentionRequest r = work.request();
+    r.tenant_id = "ephemeral";
+    EXPECT_EQ(tier.submit(std::move(r)).get().output.count(), 1);
+    tier.drain();
+    // The scheduler entry (queues, deficit) is gone; the stats entry stays.
+    ASSERT_TRUE(eventually([&] { return !tier.tenant_queue("ephemeral").has_value(); }));
+    EXPECT_EQ(tier.tenant_stats().at("ephemeral").completed, 1u);
+    tier.close();
+}
+
+TEST(TenantFairness, NoisyTenantShedsAgainstItsOwnQuotaOnly) {
+    const Work work;
+    ShardedSessionOptions options;
+    options.num_shards = 1;
+    options.router_workers = 1;  // single lane: queue depths are observable
+    options.retry.max_attempts = 1;
+    // The noisy tenant gets a 2-deep reject-fast queue quota; everyone
+    // else (and the global policy) stays unbounded.
+    options.fairness.tenants["noisy"].admission.mode = AdmissionMode::reject_fast;
+    options.fairness.tenants["noisy"].admission.max_queue = 2;
+    ShardedSession tier(serving_config(1), options);
+
+    // Wedge the single router lane with a stalled noisy request so later
+    // submissions pile up in the tenant queues.
+    auto stall = transient_stall(milliseconds(400), 1);
+    AttentionRequest wedge = work.request();
+    wedge.tenant_id = "noisy";
+    wedge.fault_injector = stall;
+    auto wedged = tier.submit(std::move(wedge));
+    ASSERT_TRUE(eventually([&] { return stall->stalls_injected() > 0; }));
+
+    // The flood: 2 admitted into the noisy queue, the rest shed with
+    // QueueFull against the tenant's own quota.
+    std::vector<std::future<LayerResult>> noisy_admitted;
+    std::vector<std::future<LayerResult>> noisy_shed;
+    for (int i = 0; i < 5; ++i) {
+        AttentionRequest r = work.request();
+        r.tenant_id = "noisy";
+        if (i < 2)
+            noisy_admitted.push_back(tier.submit(std::move(r)));
+        else
+            noisy_shed.push_back(tier.submit(std::move(r)));
+    }
+    // A well-behaved tenant is admitted freely at the same moment.
+    std::vector<std::future<LayerResult>> calm;
+    for (int i = 0; i < 3; ++i) {
+        AttentionRequest r = work.request();
+        r.tenant_id = "calm";
+        calm.push_back(tier.submit(std::move(r)));
+    }
+
+    for (auto& f : noisy_shed) EXPECT_THROW(f.get(), QueueFull);
+    EXPECT_EQ(wedged.get().output.count(), 1);
+    for (auto& f : noisy_admitted) EXPECT_EQ(f.get().output.count(), 1);
+    for (auto& f : calm) EXPECT_EQ(f.get().output.count(), 1);
+    tier.close();
+
+    const auto per_tenant = tier.tenant_stats();
+    EXPECT_EQ(per_tenant.at("noisy").rejected, 3u);
+    EXPECT_EQ(per_tenant.at("noisy").completed, 3u);
+    EXPECT_EQ(per_tenant.at("calm").rejected, 0u);
+    EXPECT_EQ(per_tenant.at("calm").completed, 3u);
+    for (const auto& [name, t] : per_tenant)
+        EXPECT_EQ(t.accounted(), t.submitted) << "tenant " << name;
+    expect_conserved(tier.stats());
+}
+
+TEST(TenantFairness, RetryIsBilledToTheTenant) {
+    const Work work;
+    ShardedSessionOptions options;
+    options.num_shards = 2;
+    options.retry.max_attempts = 3;
+    options.retry.base_backoff = std::chrono::microseconds(100);
+    ShardedSession tier(serving_config(1), options);
+
+    AttentionRequest r = work.request();
+    r.tenant_id = "flaky";
+    r.fault_injector = transient_fault(1);  // first attempt faults, retry clean
+    EXPECT_EQ(tier.submit(std::move(r)).get().output.count(), 1);
+    tier.close();
+
+    const auto per_tenant = tier.tenant_stats();
+    EXPECT_EQ(per_tenant.at("flaky").retried, 1u);
+    EXPECT_EQ(per_tenant.at("flaky").completed, 1u);
+    const SessionStats s = tier.stats();
+    EXPECT_EQ(s.retried, 1u);
+    expect_conserved(s);
+}
+
+TEST(TenantFairness, SharedPlanStoreCompilesOnceTierWide) {
+    // Acceptance gate: under least-cost routing across 4 shards, a
+    // repeated shape runs the scheduler exactly once tier-wide — the
+    // shared store does the single compile, shard-local caches resolve
+    // through it and never run the scheduler themselves.
+    const Work work;
+    ShardedSessionOptions options;
+    options.num_shards = 4;
+    options.routing = RoutingPolicy::least_outstanding_cost;
+    options.shared_plan_store = true;
+    ShardedSession tier(serving_config(1), options);
+    ASSERT_NE(tier.shared_plan_store(), nullptr);
+
+    const SaloEngine seq(serving_config(1));
+    const LayerResult expected = seq.run(work.w.pattern, work.qkv.q, work.qkv.k,
+                                         work.qkv.v, work.w.scale());
+
+    // A concurrent burst: least-cost routing is free to spread the shape
+    // over any subset of shards — the compile count must stay 1 anyway.
+    std::vector<std::future<LayerResult>> futures;
+    for (int i = 0; i < 16; ++i) futures.push_back(tier.submit(work.request()));
+    for (auto& f : futures) expect_identical_layer(f.get(), expected, "shared-store");
+    tier.close();
+
+    const PlanCacheStats store = tier.shared_plan_store()->stats();
+    EXPECT_EQ(store.compiles, 1u) << "scheduler ran more than once tier-wide";
+    const SessionStats s = tier.stats();
+    EXPECT_EQ(s.plan_cache.compiles, 0u) << "a shard-local cache ran the scheduler";
+    EXPECT_GE(s.plan_cache.shared_resolved, 1u);
+    EXPECT_EQ(s.completed, 16u);
+    expect_conserved(s);
+}
+
+TEST(TenantFairness, WithoutSharedStoreEachShardCompiles) {
+    // Control for the test above: least-cost routing without the shared
+    // store compiles per shard (the PR 4 status quo the store removes).
+    const Work work;
+    ShardedSessionOptions options;
+    options.num_shards = 2;
+    options.routing = RoutingPolicy::round_robin;
+    ShardedSession tier(serving_config(1), options);
+    EXPECT_EQ(tier.shared_plan_store(), nullptr);
+
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(tier.submit(work.request()).get().output.count(), 1);
+    tier.close();
+
+    const SessionStats s = tier.stats();
+    EXPECT_EQ(s.plan_cache.compiles, 2u);  // one scheduler pass per shard
+    EXPECT_EQ(s.plan_cache.shared_resolved, 0u);
+}
+
 TEST(ShardedSession, DegradedTierShedsEarlier) {
     const Work work;
     ShardedSessionOptions options;
