@@ -1,0 +1,451 @@
+// bench_decode: streaming-decode throughput and correctness gates.
+//
+//   bench_decode [--quick] [--steps N] [--seed S] [--json <path>] [--soak]
+//
+// Throughput mode (default): drives the DecodeSession at 1, 64 and 4096
+// concurrent streams over a decode-compatible hybrid pattern (64-wide
+// causal band + 2 global tokens) and reports tokens/s per level. The 4096
+// streams share 64 seeded input classes, so correctness is affordable:
+// one full per-prefix encode chain is computed per class, and EVERY step
+// output of EVERY stream is byte-compared against row t of the full
+// encode of the same prefix. The exit code enforces bit-identity at every
+// level — the incremental micro-plan path must produce exactly the bits
+// of re-running the whole prefix, at every concurrency.
+//
+// Soak mode (--soak): 64 streams with mixed step counts on a 2-shard tier
+// whose shard 0 runs seeded fault injection. The exit code enforces the
+// serving invariants under chaos: no lost futures (every submitted step
+// resolves), only typed SaloErrors, bit-identity of every COMPLETED step,
+// the stats conservation law with steps == submitted (globally and per
+// tenant), and eviction bookkeeping (every failed stream counted). This
+// is the `decode_soak` ctest, also run under TSan in CI.
+//
+// --json writes the machine-readable snapshot recorded as
+// BENCH_decode.json at the repo root (see docs/PERFORMANCE.md for the
+// tokens/s methodology).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/salo.hpp"
+#include "sim/kernels.hpp"
+
+namespace {
+
+using namespace salo;
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+struct DecodeShape {
+    std::vector<Band> bands = {Band{-63, 64, 1, 0}};
+    std::vector<int> globals = {0, 1};
+    int heads = 2;
+    int head_dim = 32;
+    float scale = 0.176777f;  // ~ 1/sqrt(32)
+
+    HybridPattern pattern(int steps) const {
+        std::vector<int> g;
+        for (int x : globals)
+            if (x < steps) g.push_back(x);
+        return HybridPattern(steps, bands, g);
+    }
+};
+
+/// One input class: per-position Q/K/V rows for `steps` positions.
+struct InputClass {
+    Tensor3<float> q, k, v;  // [heads][steps][d]
+};
+
+InputClass make_class(const DecodeShape& shape, int steps, std::uint64_t seed) {
+    Rng rng(seed);
+    InputClass c;
+    c.q = random_tensor3(shape.heads, steps, shape.head_dim, rng);
+    c.k = random_tensor3(shape.heads, steps, shape.head_dim, rng);
+    c.v = random_tensor3(shape.heads, steps, shape.head_dim, rng);
+    return c;
+}
+
+Matrix<float> row_of(const Tensor3<float>& all, int t, int heads, int d) {
+    Matrix<float> row(heads, d, 0.0f);
+    for (int h = 0; h < heads; ++h)
+        for (int x = 0; x < d; ++x) row(h, x) = all[h](t, x);
+    return row;
+}
+
+/// Reference chain for one input class: expected[t] = row t of the full
+/// whole-sequence encode of prefix length t+1 (the only correct reference;
+/// a global row attends later keys, so rows of longer encodes differ).
+std::vector<Matrix<float>> reference_chain(const SaloEngine& engine,
+                                           const DecodeShape& shape,
+                                           const InputClass& cls, int steps) {
+    const int heads = shape.heads, d = shape.head_dim;
+    std::vector<Matrix<float>> expected;
+    expected.reserve(static_cast<std::size_t>(steps));
+    for (int t = 0; t < steps; ++t) {
+        Tensor3<float> q(heads, t + 1, d), k(heads, t + 1, d), v(heads, t + 1, d);
+        for (int h = 0; h < heads; ++h)
+            for (int r = 0; r <= t; ++r)
+                for (int x = 0; x < d; ++x) {
+                    q[h](r, x) = cls.q[h](r, x);
+                    k[h](r, x) = cls.k[h](r, x);
+                    v[h](r, x) = cls.v[h](r, x);
+                }
+        const LayerResult full =
+            engine.run(*engine.compile(shape.pattern(t + 1), d), q, k, v, shape.scale);
+        Matrix<float> row(heads, d, 0.0f);
+        for (int h = 0; h < heads; ++h)
+            for (int x = 0; x < d; ++x) row(h, x) = full.output[h](t, x);
+        expected.push_back(std::move(row));
+    }
+    return expected;
+}
+
+bool rows_equal(const Matrix<float>& a, const Matrix<float>& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            if (a(r, c) != b(r, c)) return false;
+    return true;
+}
+
+struct LevelResult {
+    int streams = 0;
+    std::uint64_t steps_total = 0;
+    double wall_ms = 0.0;
+    double tokens_per_s = 0.0;
+    bool bit_identical = true;
+    std::uint64_t batches = 0;
+    std::size_t max_batch = 0;
+    std::uint64_t step_derives = 0;
+    double plan_cache_hit_rate = 0.0;
+};
+
+/// Drive `num_streams` concurrent streams for `steps` positions each,
+/// submitting in lockstep waves (wave t = step t of every live stream), and
+/// byte-compare every step output against the class reference chains.
+LevelResult run_level(const SaloConfig& config, const DecodeShape& shape,
+                      const std::vector<InputClass>& classes,
+                      const std::vector<std::vector<Matrix<float>>>& expected,
+                      int num_streams, int steps) {
+    LevelResult out;
+    out.streams = num_streams;
+
+    DecodeSessionOptions options;
+    options.num_shards = 1;
+    DecodeSession session(config, options);
+    const HybridPattern pattern = shape.pattern(steps);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<StreamId> ids;
+    ids.reserve(static_cast<std::size_t>(num_streams));
+    for (int i = 0; i < num_streams; ++i)
+        ids.push_back(session.open_stream(pattern, shape.heads, shape.head_dim,
+                                          shape.scale));
+
+    std::vector<std::future<StepResult>> futures(
+        static_cast<std::size_t>(num_streams));
+    for (int t = 0; t < steps; ++t) {
+        for (int i = 0; i < num_streams; ++i) {
+            const InputClass& cls = classes[static_cast<std::size_t>(i) % classes.size()];
+            StepRequest req;
+            req.q_row = row_of(cls.q, t, shape.heads, shape.head_dim);
+            req.k_row = row_of(cls.k, t, shape.heads, shape.head_dim);
+            req.v_row = row_of(cls.v, t, shape.heads, shape.head_dim);
+            futures[static_cast<std::size_t>(i)] =
+                session.step(ids[static_cast<std::size_t>(i)], std::move(req));
+        }
+        for (int i = 0; i < num_streams; ++i) {
+            const StepResult step = futures[static_cast<std::size_t>(i)].get();
+            ++out.steps_total;
+            const std::vector<Matrix<float>>& exp =
+                expected[static_cast<std::size_t>(i) % expected.size()];
+            Matrix<float> got(shape.heads, shape.head_dim, 0.0f);
+            for (int h = 0; h < shape.heads; ++h)
+                for (int x = 0; x < shape.head_dim; ++x)
+                    got(h, x) = step.output[h](0, x);
+            if (!rows_equal(got, exp[static_cast<std::size_t>(t)]))
+                out.bit_identical = false;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    session.close();
+
+    out.wall_ms = ms_between(t0, t1);
+    out.tokens_per_s = out.wall_ms > 0.0
+                           ? static_cast<double>(out.steps_total) * 1000.0 / out.wall_ms
+                           : 0.0;
+    const SessionStats st = session.stats();
+    out.batches = st.batches;
+    out.max_batch = st.max_batch;
+    out.step_derives = st.plan_cache.step_derives;
+    out.plan_cache_hit_rate = st.plan_cache.hit_rate();
+    if (st.completed != out.steps_total || st.steps != st.submitted)
+        out.bit_identical = false;  // fold accounting breakage into the gate
+    return out;
+}
+
+struct SoakResult {
+    std::uint64_t submitted = 0;
+    std::uint64_t resolved = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t evicted_streams = 0;
+    std::uint64_t failed = 0;
+    bool typed_errors_only = true;
+    bool bit_identical = true;
+    bool conserved = true;
+    bool tenants_conserved = true;
+};
+
+/// 64 streams, mixed step counts, 2 shards with seeded chaos on shard 0.
+SoakResult run_soak(const SaloConfig& config, const DecodeShape& shape,
+                    const std::vector<InputClass>& classes,
+                    const std::vector<std::vector<Matrix<float>>>& expected,
+                    int max_steps, std::uint64_t seed) {
+    SoakResult out;
+    const int num_streams = 64;
+
+    DecodeSessionOptions options;
+    options.num_shards = 2;
+    // Micro-plans have only a couple of tiles, so a per-tile-index seeded
+    // rate either always fires or never does; use the deterministic
+    // triggers instead: the first `max_faults` shard-0 head-runs fault
+    // (evicting their streams), and early runs also stall briefly for
+    // timing jitter (useful under TSan).
+    FaultInjector::Config chaos;
+    chaos.seed = seed;
+    chaos.fault_tiles = {0};
+    chaos.max_faults = 6;
+    chaos.stall_tiles = {1};
+    chaos.stall_for = std::chrono::microseconds(200);
+    chaos.max_stalls = 32;
+    options.shard_fault_injectors = {std::make_shared<FaultInjector>(chaos), nullptr};
+    // Quarantine aggressively so the soak exercises shard refusal too.
+    options.health.window = 16;
+    options.health.min_samples = 4;
+    options.health.failure_threshold = 0.5;
+    options.health.cooldown = std::chrono::milliseconds(20);
+    DecodeSession session(config, options);
+
+    const char* tenants[] = {"ant", "bee", "cricket", "dragonfly"};
+    std::vector<StreamId> ids;
+    std::vector<int> stream_steps;
+    for (int i = 0; i < num_streams; ++i) {
+        const int steps = 4 + (i * 7) % (max_steps - 3);
+        stream_steps.push_back(steps);
+        ids.push_back(session.open_stream(shape.pattern(steps), shape.heads,
+                                          shape.head_dim, shape.scale,
+                                          tenants[i % 4]));
+    }
+
+    std::vector<std::future<StepResult>> futures;
+    std::vector<int> future_stream, future_step;
+    for (int t = 0; t < max_steps; ++t) {
+        futures.clear();
+        future_stream.clear();
+        future_step.clear();
+        for (int i = 0; i < num_streams; ++i) {
+            if (t >= stream_steps[static_cast<std::size_t>(i)]) continue;
+            const InputClass& cls = classes[static_cast<std::size_t>(i) % classes.size()];
+            StepRequest req;
+            req.q_row = row_of(cls.q, t, shape.heads, shape.head_dim);
+            req.k_row = row_of(cls.k, t, shape.heads, shape.head_dim);
+            req.v_row = row_of(cls.v, t, shape.heads, shape.head_dim);
+            futures.push_back(session.step(ids[static_cast<std::size_t>(i)],
+                                           std::move(req)));
+            future_stream.push_back(i);
+            future_step.push_back(t);
+            ++out.submitted;
+        }
+        for (std::size_t f = 0; f < futures.size(); ++f) {
+            try {
+                const StepResult step = futures[f].get();
+                ++out.resolved;
+                ++out.completed;
+                const std::vector<Matrix<float>>& exp =
+                    expected[static_cast<std::size_t>(future_stream[f]) %
+                             expected.size()];
+                Matrix<float> got(shape.heads, shape.head_dim, 0.0f);
+                for (int h = 0; h < shape.heads; ++h)
+                    for (int x = 0; x < shape.head_dim; ++x)
+                        got(h, x) = step.output[h](0, x);
+                if (!rows_equal(got,
+                                exp[static_cast<std::size_t>(future_step[f])]))
+                    out.bit_identical = false;
+            } catch (const SaloError&) {
+                ++out.resolved;  // typed failure: the contract under chaos
+            } catch (...) {
+                ++out.resolved;
+                out.typed_errors_only = false;
+            }
+        }
+    }
+    session.close();
+
+    const SessionStats st = session.stats();
+    out.evicted_streams = st.evicted_streams;
+    out.failed = st.failed;
+    out.conserved = st.accounted() == st.submitted && st.steps == st.submitted &&
+                    st.submitted == out.submitted;
+    out.tenants_conserved = true;
+    std::uint64_t tenant_submitted = 0;
+    for (const auto& [name, ts] : session.tenant_stats()) {
+        (void)name;
+        if (ts.accounted() != ts.submitted || ts.steps != ts.submitted)
+            out.tenants_conserved = false;
+        tenant_submitted += ts.submitted;
+    }
+    if (tenant_submitted != st.submitted) out.tenants_conserved = false;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool soak = false;
+    int steps = 32;
+    std::uint64_t seed = 42;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+        else if (std::strcmp(argv[i], "--soak") == 0) soak = true;
+        else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc)
+            steps = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_decode [--quick] [--soak] [--steps N] "
+                         "[--seed S] [--json path]\n");
+            return 2;
+        }
+    }
+    if (quick) steps = std::min(steps, 8);
+    if (steps < 4) steps = 4;
+
+    const DecodeShape shape;
+    SaloConfig config;
+    config.plan_cache_capacity = 4 * steps;  // full + micro plan per position
+
+    std::printf("streaming decode: band span %d + %zu globals, heads %d, d %d, "
+                "%d steps per stream\n",
+                decode_window_span(shape.bands), shape.globals.size(), shape.heads,
+                shape.head_dim, steps);
+    std::printf("kernel ISA: %s, hardware threads: %d\n\n", kernels::isa_name(),
+                default_num_threads());
+
+    // 64 seeded input classes shared by every level (and the soak), with
+    // one full per-prefix reference encode chain per class.
+    const int num_classes = 64;
+    std::vector<InputClass> classes;
+    for (int c = 0; c < num_classes; ++c)
+        classes.push_back(make_class(shape, steps, seed * 1000 + static_cast<std::uint64_t>(c)));
+    const SaloEngine ref(config);
+    std::vector<std::vector<Matrix<float>>> expected;
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const InputClass& cls : classes)
+            expected.push_back(reference_chain(ref, shape, cls, steps));
+        std::printf("reference: %d per-prefix encode chains (%d prefixes each) "
+                    "in %.0f ms\n\n",
+                    num_classes, steps,
+                    ms_between(t0, std::chrono::steady_clock::now()));
+    }
+
+    if (soak) {
+        const SoakResult r = run_soak(config, shape, classes, expected, steps, seed);
+        std::printf("soak: 64 streams (mixed 4..%d steps), 2 shards, chaos on "
+                    "shard 0 (seed %llu)\n",
+                    steps, static_cast<unsigned long long>(seed));
+        std::printf("  submitted %llu, resolved %llu, completed %llu, failed %llu, "
+                    "evicted streams %llu\n",
+                    static_cast<unsigned long long>(r.submitted),
+                    static_cast<unsigned long long>(r.resolved),
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.failed),
+                    static_cast<unsigned long long>(r.evicted_streams));
+        const bool no_lost = r.resolved == r.submitted;
+        const bool chaos_hit = r.evicted_streams >= 1 && r.failed >= 1;
+        std::printf("  gates: lost=%s typed=%s bit-identical=%s conserved=%s "
+                    "tenants=%s chaos-exercised=%s\n",
+                    no_lost ? "none" : "LOST", r.typed_errors_only ? "ok" : "FAIL",
+                    r.bit_identical ? "ok" : "FAIL", r.conserved ? "ok" : "FAIL",
+                    r.tenants_conserved ? "ok" : "FAIL", chaos_hit ? "ok" : "FAIL");
+        return no_lost && r.typed_errors_only && r.bit_identical && r.conserved &&
+                       r.tenants_conserved && chaos_hit
+                   ? 0
+                   : 1;
+    }
+
+    const int levels[] = {1, 64, 4096};
+    std::vector<LevelResult> results;
+    bool all_identical = true;
+    for (int streams : levels) {
+        const LevelResult r = run_level(config, shape, classes, expected, streams, steps);
+        std::printf("%5d streams: %7llu steps in %8.1f ms -> %9.0f tokens/s  "
+                    "(batches %llu, max batch %zu, step derives %llu, "
+                    "bit-identical %s)\n",
+                    r.streams, static_cast<unsigned long long>(r.steps_total),
+                    r.wall_ms, r.tokens_per_s,
+                    static_cast<unsigned long long>(r.batches), r.max_batch,
+                    static_cast<unsigned long long>(r.step_derives),
+                    r.bit_identical ? "yes" : "NO");
+        all_identical = all_identical && r.bit_identical;
+        results.push_back(r);
+    }
+
+    if (!json_path.empty()) {
+        char date[32] = "unknown";
+        const std::time_t now = std::time(nullptr);
+        std::strftime(date, sizeof date, "%Y-%m-%d", std::gmtime(&now));
+        std::ofstream os(json_path);
+        os << "{\n"
+           << "  \"bench\": \"decode\",\n"
+           << "  \"schema_version\": 1,\n"
+           << "  \"date\": \"" << date << "\",\n"
+           << "  \"seed\": " << seed << ",\n"
+           << "  \"pattern\": \"band-span-" << decode_window_span(shape.bands)
+           << "-plus-" << shape.globals.size() << "-globals\",\n"
+           << "  \"heads\": " << shape.heads << ",\n"
+           << "  \"head_dim\": " << shape.head_dim << ",\n"
+           << "  \"steps_per_stream\": " << steps << ",\n"
+           << "  \"input_classes\": " << num_classes << ",\n"
+           << "  \"fidelity\": \"functional\",\n"
+           << "  \"kernel_isa\": \"" << kernels::isa_name() << "\",\n"
+           << "  \"hardware_threads\": " << default_num_threads() << ",\n"
+           << "  \"levels\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const LevelResult& r = results[i];
+            os << "    {\n"
+               << "      \"streams\": " << r.streams << ",\n"
+               << "      \"steps_total\": " << r.steps_total << ",\n"
+               << "      \"wall_ms\": " << r.wall_ms << ",\n"
+               << "      \"tokens_per_s\": " << r.tokens_per_s << ",\n"
+               << "      \"batches\": " << r.batches << ",\n"
+               << "      \"max_batch\": " << r.max_batch << ",\n"
+               << "      \"step_derives\": " << r.step_derives << ",\n"
+               << "      \"plan_cache_hit_rate\": " << r.plan_cache_hit_rate << ",\n"
+               << "      \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+               << "\n    }";
+            if (i + 1 < results.size()) os << ",";
+            os << "\n";
+        }
+        os << "  ],\n"
+           << "  \"bit_identical\": " << (all_identical ? "true" : "false") << "\n"
+           << "}\n";
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return all_identical ? 0 : 1;
+}

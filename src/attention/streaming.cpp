@@ -1,5 +1,6 @@
 #include "attention/streaming.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -7,6 +8,90 @@
 #include "common/assert.hpp"
 
 namespace salo {
+
+// ---------------------------------------------------------------------------
+// DecodeState
+// ---------------------------------------------------------------------------
+
+DecodeState::DecodeState(int heads, int head_dim, int window_span,
+                         std::vector<int> global_tokens)
+    : heads_(heads), head_dim_(head_dim), span_(window_span),
+      globals_(std::move(global_tokens)) {
+    SALO_EXPECTS(heads_ >= 1);
+    SALO_EXPECTS(head_dim_ >= 1);
+    SALO_EXPECTS(span_ >= 1);
+    std::sort(globals_.begin(), globals_.end());
+    globals_.erase(std::unique(globals_.begin(), globals_.end()), globals_.end());
+    for (int g : globals_) SALO_EXPECTS(g >= 0);
+    k_ring_ = Tensor3<float>(heads_, span_, head_dim_);
+    v_ring_ = Tensor3<float>(heads_, span_, head_dim_);
+    const int ng = static_cast<int>(globals_.size());
+    k_pin_ = Tensor3<float>(heads_, ng, head_dim_);
+    v_pin_ = Tensor3<float>(heads_, ng, head_dim_);
+}
+
+int DecodeState::window_lo() const { return std::max(0, length_ - span_); }
+
+int DecodeState::num_pinned() const {
+    return static_cast<int>(std::lower_bound(globals_.begin(), globals_.end(), length_) -
+                            globals_.begin());
+}
+
+int DecodeState::compact_rows() const { return num_pinned() + (length_ - window_lo()); }
+
+void DecodeState::append(const Matrix<float>& k_row, const Matrix<float>& v_row) {
+    SALO_EXPECTS(k_row.rows() == heads_ && k_row.cols() == head_dim_);
+    SALO_EXPECTS(v_row.rows() == heads_ && v_row.cols() == head_dim_);
+    const int slot = length_ % span_;  // overwriting = window-boundary eviction
+    const auto pin = std::lower_bound(globals_.begin(), globals_.end(), length_);
+    const bool is_global = pin != globals_.end() && *pin == length_;
+    const int pin_idx = static_cast<int>(pin - globals_.begin());
+    for (int h = 0; h < heads_; ++h) {
+        for (int t = 0; t < head_dim_; ++t) {
+            k_ring_[h](slot, t) = k_row(h, t);
+            v_ring_[h](slot, t) = v_row(h, t);
+            if (is_global) {
+                k_pin_[h](pin_idx, t) = k_row(h, t);
+                v_pin_[h](pin_idx, t) = v_row(h, t);
+            }
+        }
+    }
+    ++length_;
+}
+
+int DecodeState::compact_index(int j) const {
+    SALO_EXPECTS(j >= 0 && j < length_);
+    if (j >= window_lo()) return num_pinned() + (j - window_lo());
+    // Evicted from the ring: only a pinned global survives.
+    const auto pin = std::lower_bound(globals_.begin(), globals_.end(), j);
+    SALO_EXPECTS(pin != globals_.end() && *pin == j);
+    return static_cast<int>(pin - globals_.begin());
+}
+
+std::pair<Tensor3<float>, Tensor3<float>> DecodeState::assemble() const {
+    const int np = num_pinned();
+    const int lo = window_lo();
+    const int rows = compact_rows();
+    Tensor3<float> k(heads_, rows, head_dim_);
+    Tensor3<float> v(heads_, rows, head_dim_);
+    for (int h = 0; h < heads_; ++h) {
+        for (int p = 0; p < np; ++p) {
+            for (int t = 0; t < head_dim_; ++t) {
+                k[h](p, t) = k_pin_[h](p, t);
+                v[h](p, t) = v_pin_[h](p, t);
+            }
+        }
+        for (int j = lo; j < length_; ++j) {
+            const int slot = j % span_;
+            const int r = np + (j - lo);
+            for (int t = 0; t < head_dim_; ++t) {
+                k[h](r, t) = k_ring_[h](slot, t);
+                v[h](r, t) = v_ring_[h](slot, t);
+            }
+        }
+    }
+    return {std::move(k), std::move(v)};
+}
 
 Matrix<float> streaming_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
                                          const Matrix<float>& v, float scale,

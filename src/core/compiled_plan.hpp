@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/config.hpp"
 #include "pattern/pattern.hpp"
@@ -25,12 +26,26 @@
 
 namespace salo {
 
+/// Geometry of a decode step's compact key-space (derive_micro_plan). The
+/// step computes query row `position` of the full pattern against the
+/// compact K/V layout DecodeState::assemble() produces:
+/// [num_globals pinned rows][positions window_lo .. position].
+struct StepGeometry {
+    int position = 0;      ///< query row t in the full sequence (= pattern n - 1)
+    int window_lo = 0;     ///< first ring position: max(0, t - (window_span - 1))
+    int num_globals = 0;   ///< pinned rows ahead of the ring section
+    int window_span = 0;   ///< ring capacity: decode_window_span(bands)
+    int compact_rows = 0;  ///< num_globals + (t - window_lo + 1)
+};
+
 class CompiledPlan {
 public:
-    /// Built by compile(); use that entry point rather than this ctor.
-    CompiledPlan(HybridPattern pattern, SchedulePlan plan, std::uint64_t fingerprint)
+    /// Built by compile() / derive_micro_plan(); use those entry points
+    /// rather than this ctor. `step` is set only on micro-plans.
+    CompiledPlan(HybridPattern pattern, SchedulePlan plan, std::uint64_t fingerprint,
+                 std::optional<StepGeometry> step = std::nullopt)
         : pattern_(std::move(pattern)), plan_(std::move(plan)),
-          fingerprint_(fingerprint) {}
+          fingerprint_(fingerprint), step_(step) {}
 
     const HybridPattern& pattern() const { return pattern_; }
     int n() const { return plan_.n; }
@@ -41,10 +56,20 @@ public:
     const ScheduleStats& schedule_stats() const { return plan_.stats; }
     std::uint64_t fingerprint() const { return fingerprint_; }
 
+    /// True for a decode micro-plan: plan().n is then the compact key-row
+    /// count (StepGeometry::compact_rows), not a sequence length, and the
+    /// plan is executable only through SaloEngine::run_step.
+    bool is_step() const { return step_.has_value(); }
+    const StepGeometry& step() const {
+        SALO_EXPECTS(step_.has_value());
+        return *step_;
+    }
+
 private:
     HybridPattern pattern_;
     SchedulePlan plan_;
     std::uint64_t fingerprint_;
+    std::optional<StepGeometry> step_;
 };
 
 using CompiledPlanPtr = std::shared_ptr<const CompiledPlan>;
@@ -65,5 +90,32 @@ CompiledPlan compile(const HybridPattern& pattern, int head_dim,
 /// Shared-ownership variant for callers that pass plans around.
 CompiledPlanPtr compile_shared(const HybridPattern& pattern, int head_dim,
                                const SaloConfig& config);
+
+// ---------------------------------------------------------------------------
+// Streaming-decode micro-plans.
+// ---------------------------------------------------------------------------
+
+/// Can this pattern drive incremental decode? Requires 1D (no grid), causal
+/// bands (no look-ahead), and every global token inside the ring span — a
+/// step *on* a global position must find its whole fresh history in the
+/// ring, so globals beyond the span would reference evicted rows.
+bool decode_compatible(const HybridPattern& pattern);
+
+/// Cache key of the step micro-plan derived from a full plan with
+/// `full_fingerprint` at query position `position`. A distinct type tag
+/// keeps every micro-plan key disjoint from every full-plan key, so both
+/// kinds share one PlanCache without aliasing.
+std::uint64_t step_plan_fingerprint(std::uint64_t full_fingerprint, int position);
+
+/// Derive the decode micro-plan for the *last* row of `full` (position
+/// t = full.n() - 1): keep exactly the tiles that touch query t, deactivate
+/// every other query row, and rewrite key references from absolute sequence
+/// positions into DecodeState's compact layout
+/// ([globals][window_lo .. t]). Executing the result with run_step against
+/// the assembled compact K/V is bit-identical to row t of running `full`
+/// over the whole prefix. Preconditions: !full.is_step(),
+/// decode_compatible(full.pattern()).
+CompiledPlan derive_micro_plan(const CompiledPlan& full);
+CompiledPlanPtr derive_micro_plan_shared(const CompiledPlan& full);
 
 }  // namespace salo

@@ -1,0 +1,245 @@
+// DecodeSession: streaming autoregressive decode over persistent per-stream
+// K/V state.
+//
+// Where SaloSession serves whole sequences, a DecodeSession serves *steps*:
+// a caller opens a stream (a fixed decode-compatible pattern, head count,
+// head dimension), then submits one query row at a time; every step appends
+// that position's K/V rows to the stream's DecodeState (ring window +
+// pinned globals, attention/streaming.hpp) and computes only the new row's
+// tiles through the engine's micro-plan path (SaloEngine::run_step) — the
+// full-pattern schedule is compiled once per shape and each step derivation
+// is cached, so steady-state decode runs no scheduler work at all.
+//
+//   DecodeSession session(config, options);
+//   StreamId s = session.open_stream(pattern, heads, head_dim, scale);
+//   std::future<StepResult> f = session.step(s, {q_row, k_row, v_row});
+//   ...
+//   session.close_stream(s);
+//
+// Batching: a dispatcher thread gathers the front step of every ready
+// stream into one batch — steps of one stream always execute in submission
+// order (the K/V append log is strictly ordered), steps of different
+// streams run concurrently on the engine pools (budget 1 each), and a lone
+// step gets the whole pool, mirroring SaloSession's two batch shapes. Every
+// completed step is bit-identical to row t of the full-prefix encode.
+//
+// State affinity (the contract docs/API.md "Decode lifecycle" documents):
+// a stream's DecodeState lives on exactly one engine shard, picked by
+// rendezvous hash at open_stream() and never moved. If the shard is
+// quarantined by health supervision — or any step of the stream fails for
+// any reason (fault, deadline, cancellation, admission shed): a hole in a
+// strictly-ordered append log cannot be papered over — the stream is
+// *evicted*: the failing step's future and every later step() on the
+// stream fail with StreamEvicted, and the caller must open a new stream
+// and re-prefill. No retry, no silent migration, ever.
+//
+// Deadlines, cancellation, admission control and tenant accounting compose
+// unchanged: each step is one admission unit (cost = heads) with its own
+// deadline/token, and SessionStats/TenantStats obey the conservation law
+// with steps == submitted (a pure decode tier).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "attention/streaming.hpp"
+#include "core/admission.hpp"
+#include "core/engine.hpp"
+#include "core/health.hpp"
+#include "core/session.hpp"  // SessionStats / TenantStats
+
+namespace salo {
+
+using StreamId = std::uint64_t;
+
+/// One decode step: the new position's query/key/value rows, one row per
+/// head (all heads x head_dim), plus the per-step robustness knobs of
+/// AttentionRequest.
+struct StepRequest {
+    Matrix<float> q_row;
+    Matrix<float> k_row;
+    Matrix<float> v_row;
+    std::optional<Fidelity> fidelity;
+    std::string tenant_id;  ///< fixed per stream at open_stream(); ignored here
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    CancellationToken cancel;
+    std::shared_ptr<const FaultInjector> fault_injector;
+};
+
+struct DecodeSessionOptions {
+    /// Independent engine shards (own pool + PlanCache each). Streams are
+    /// pinned to a shard at open_stream() and never migrate.
+    int num_shards = 1;
+    /// Maximum streams served in one dispatcher batch. 0 = every ready
+    /// stream.
+    std::size_t max_batch = 0;
+    /// Admission policy over queued steps (cost unit = heads).
+    AdmissionPolicy admission;
+    /// Shard circuit breakers; a quarantined shard evicts its streams.
+    HealthPolicy health;
+    /// Chaos/testing hook: engine-level fault injector for shard i
+    /// (missing/null entries leave that shard clean). Overridden per step
+    /// by StepRequest::fault_injector.
+    std::vector<std::shared_ptr<const FaultInjector>> shard_fault_injectors;
+    /// Share one read-mostly PlanCache tier across shards (full plans and
+    /// step micro-plans both compile/derive once tier-wide).
+    bool shared_plan_store = false;
+};
+
+class DecodeSession {
+public:
+    explicit DecodeSession(const SaloConfig& config = {},
+                           DecodeSessionOptions options = {});
+    ~DecodeSession();  // close()
+
+    DecodeSession(const DecodeSession&) = delete;
+    DecodeSession& operator=(const DecodeSession&) = delete;
+
+    /// Open a stream for up to pattern.n() steps of `pattern` (which must
+    /// be decode_compatible: causal bands, 1D, globals inside the window
+    /// span). Pins the stream's state to a shard. Throws SessionClosed
+    /// after close() and ContractViolation on an incompatible pattern.
+    StreamId open_stream(const HybridPattern& pattern, int heads, int head_dim,
+                         float scale, std::string tenant_id = std::string());
+
+    /// Submit the stream's next step. The future resolves with the step's
+    /// attention row, or with a typed SaloError; after any failed step the
+    /// stream is evicted and every later step() future fails with
+    /// StreamEvicted. Throws SessionClosed / ContractViolation (unknown
+    /// stream, shape mismatch, more steps than pattern.n()) synchronously.
+    /// Blocking under a full queue follows the admission policy.
+    std::future<StepResult> step(StreamId stream, StepRequest request);
+
+    /// Block until the stream's submitted steps have resolved, then drop
+    /// its state. Idempotent per id (a second call throws — the id is
+    /// gone). Streams not closed explicitly are dropped by close().
+    void close_stream(StreamId stream);
+
+    /// Block until every submitted step has resolved.
+    void drain();
+
+    /// Stop accepting work, serve what is queued, join the dispatcher.
+    /// Idempotent; the destructor calls it.
+    void close();
+
+    /// steps == submitted here by construction; evicted_streams counts
+    /// streams lost to quarantine or failed steps. plan_cache aggregates
+    /// over shards.
+    SessionStats stats() const;
+
+    /// Per-tenant slice; each tenant obeys the conservation law and
+    /// steps == submitted.
+    std::map<std::string, TenantStats> tenant_stats() const;
+
+    std::vector<ShardHealthSnapshot> shard_health() const;
+
+    int num_shards() const { return static_cast<int>(shards_.size()); }
+    /// The shard a live stream is pinned to (tests/benches).
+    int stream_shard(StreamId stream) const;
+    const SaloEngine& shard_engine(int shard) const {
+        return shards_[static_cast<std::size_t>(shard)]->engine;
+    }
+    const SaloConfig& config() const { return shards_.front()->engine.config(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Shard {
+        explicit Shard(const SaloConfig& config) : engine(config) {}
+        SaloEngine engine;
+    };
+
+    struct PendingStep {
+        StepRequest request;
+        std::promise<StepResult> promise;
+        std::uint64_t cost = 0;  ///< admission cost units (= heads)
+    };
+
+    struct Stream {
+        HybridPattern pattern;  ///< full-horizon pattern (max length n)
+        int heads = 0;
+        int head_dim = 0;
+        float scale = 1.0f;
+        std::string tenant;
+        int shard = 0;
+        DecodeState state;
+        std::deque<PendingStep> pending;
+        std::uint64_t accepted_steps = 0;  ///< total step() calls admitted
+        bool executing = false;  ///< front step is in the current batch
+        bool queued = false;     ///< stream id is in ready_
+        bool evicted = false;
+
+        Stream(HybridPattern p, int h, int d, float sc, std::string t, int sh)
+            : pattern(std::move(p)), heads(h), head_dim(d), scale(sc),
+              tenant(std::move(t)), shard(sh),
+              state(h, d, decode_window_span(pattern.bands()),
+                    pattern.global_tokens()) {}
+    };
+
+    /// One stream's step lifted out of the queues for execution.
+    struct ExecItem {
+        StreamId id = 0;
+        Stream* stream = nullptr;
+        PendingStep step;
+    };
+
+    /// How one executed step resolved.
+    enum class Outcome { ok, failed, cancelled, timed_out, shed_expired };
+
+    void serve_loop();
+    Outcome execute(ExecItem& item, int thread_budget);
+    /// Mark the stream evicted and fail everything still queued on it.
+    /// Caller holds m_.
+    void evict_locked(Stream& stream, const std::string& reason);
+    void account_locked(const std::string& tenant, Outcome outcome);
+    int pick_shard(StreamId id, Clock::time_point now);
+    AdmissionSnapshot snapshot_locked() const;
+
+    DecodeSessionOptions options_;
+    std::shared_ptr<PlanCache> shared_store_;  ///< before shards_ (they attach)
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable HealthSupervisor health_;
+    AdmissionController admission_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_work_;   ///< ready streams / closing
+    std::condition_variable cv_space_;  ///< admission state changed
+    std::condition_variable cv_idle_;   ///< a batch finished
+    std::unordered_map<StreamId, std::unique_ptr<Stream>> streams_;
+    std::deque<StreamId> ready_;  ///< streams with a dispatchable front step
+    std::uint64_t next_stream_id_ = 1;
+    std::size_t queued_steps_ = 0;
+    std::uint64_t queued_cost_ = 0;
+    std::uint64_t in_flight_cost_ = 0;
+    std::size_t in_flight_ = 0;
+    std::size_t waiting_submits_ = 0;  ///< see SaloSession::close()
+    bool closed_ = false;
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t timed_out_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t shed_expired_ = 0;
+    std::uint64_t batches_ = 0;
+    std::size_t max_batch_seen_ = 0;
+    std::uint64_t steps_ = 0;  ///< == submitted_ (every submission is a step)
+    std::uint64_t evicted_streams_ = 0;
+    std::map<std::string, TenantStats> tenant_stats_;
+
+    std::thread dispatcher_;  ///< last member: joined by close()
+};
+
+}  // namespace salo

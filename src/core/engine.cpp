@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "attention/golden.hpp"
 #include "numeric/quantize.hpp"
@@ -329,6 +330,182 @@ HeadResult SaloEngine::run_head_parallel(const SchedulePlan& plan, Fidelity fide
 
     for (const ActivityStats& a : lane_activity) result.stats.activity += a;
     result.output = wsm.finalize();
+    return result;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental decode: one query row against the compact K/V layout.
+// ---------------------------------------------------------------------------
+
+HeadResult SaloEngine::run_step_head(const CompiledPlan& micro, const Matrix<float>& q_row,
+                                     int head, const Matrix<float>& k,
+                                     const Matrix<float>& v, float scale,
+                                     Fidelity fidelity, const RunControl* ctl) const {
+    const StepGeometry& sg = micro.step();
+    const int d = micro.head_dim();
+    HeadResult result;
+
+    if (fidelity == Fidelity::kGolden) {
+        if (ctl != nullptr) ctl->check(-1);
+        // masked_attention's row loop for row t, with absolute key
+        // positions mapped into the compact layout. The compact rows are
+        // copies of the absolute rows and the iteration stays ascending-j,
+        // so every float op matches golden() over the full prefix.
+        const HybridPattern& pattern = micro.pattern();
+        const std::vector<int>& globals = pattern.global_tokens();
+        const int t = sg.position;
+        const auto compact_of = [&](int j) {
+            if (j >= sg.window_lo) return sg.num_globals + (j - sg.window_lo);
+            const auto pin = std::lower_bound(globals.begin(), globals.end(), j);
+            SALO_ASSERT(pin != globals.end() && *pin == j);
+            return static_cast<int>(pin - globals.begin());
+        };
+        std::vector<int> cols;
+        std::vector<double> scores;
+        for (int j = 0; j <= t; ++j)
+            if (pattern.attends(t, j)) cols.push_back(j);
+        Matrix<float> out(1, d, 0.0f);
+        if (!cols.empty()) {
+            double mx = -std::numeric_limits<double>::infinity();
+            for (int j : cols) {
+                const int cj = compact_of(j);
+                double dot = 0.0;
+                for (int x = 0; x < d; ++x)
+                    dot += static_cast<double>(q_row(head, x)) *
+                           static_cast<double>(k(cj, x));
+                dot *= scale;
+                scores.push_back(dot);
+                mx = std::max(mx, dot);
+            }
+            double sum = 0.0;
+            for (double& sc : scores) {
+                sc = std::exp(sc - mx);
+                sum += sc;
+            }
+            SALO_ASSERT(sum > 0.0);
+            for (std::size_t idx = 0; idx < cols.size(); ++idx) {
+                const double w = scores[idx] / sum;
+                const int cj = compact_of(cols[idx]);
+                for (int x = 0; x < d; ++x)
+                    out(0, x) += static_cast<float>(w * static_cast<double>(v(cj, x)));
+            }
+        }
+        result.output = std::move(out);
+        return result;
+    }
+
+    // Quantization is elementwise, so the single scaled query row and the
+    // compact K/V rows quantize to exactly the bits the full-prefix run
+    // produces for the same rows.
+    Matrix<float> q_scaled(1, d, 0.0f);
+    for (int x = 0; x < d; ++x) q_scaled(0, x) = q_row(head, x) * scale;
+    const Matrix<std::int8_t> qq = quantize<InputFx>(q_scaled);
+    const Matrix<std::int8_t> kq = quantize<InputFx>(k);
+    const Matrix<std::int8_t> vq = quantize<InputFx>(v);
+
+    const SchedulePlan& plan = micro.plan();
+    const int num_tiles = static_cast<int>(plan.tiles.size());
+    WeightedSumModule wsm(1, d, recip_unit_);
+    TileAccountant accountant(config_, d);
+
+    if (fidelity == Fidelity::kFunctional) {
+        const TileExecutor exec(exp_unit_, recip_unit_, qq, kq, vq);
+        if (config_.reference_datapath) {
+            std::vector<TilePart> parts;
+            for (int t = 0; t < num_tiles; ++t) {
+                if (ctl != nullptr) ctl->check(t);
+                const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
+                parts.clear();
+                exec.run(tile, parts, result.stats.activity);
+                for (const TilePart& p : parts) wsm.merge(p);
+                const CycleBreakdown& b = accountant.account(tile, result.stats);
+                result.stats.activity.pe_cycles +=
+                    static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
+            }
+        } else {
+            PartArena arena;
+            PartScratch scratch;
+            for (int t = 0; t < num_tiles; ++t) {
+                if (ctl != nullptr) ctl->check(t);
+                const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
+                arena.reset();
+                exec.run(tile, arena, result.stats.activity, scratch);
+                for (std::size_t i = 0; i < arena.used(); ++i) wsm.merge(arena.at(i));
+                const CycleBreakdown& b = accountant.account(tile, result.stats);
+                result.stats.activity.pe_cycles +=
+                    static_cast<std::int64_t>(tile.rows()) * tile.cols() * b.total();
+            }
+        }
+    } else {
+        const CycleAccurateArray array(config_.geometry, config_.cycle_config(), exp_unit_,
+                                       recip_unit_, qq, kq, vq);
+        std::vector<TilePart> parts;
+        for (int t = 0; t < num_tiles; ++t) {
+            if (ctl != nullptr) ctl->check(t);
+            const TileTask& tile = plan.tiles[static_cast<std::size_t>(t)];
+            parts.clear();
+            array.run(tile, parts, result.stats.activity);
+            for (const TilePart& p : parts) wsm.merge(p);
+            accountant.account(tile, result.stats);
+        }
+    }
+
+    result.output = wsm.finalize();
+    return result;
+}
+
+CompiledPlanPtr SaloEngine::compile_step(const HybridPattern& pattern,
+                                         int head_dim) const {
+    return plan_cache_.get_or_derive_step(pattern, head_dim, config_);
+}
+
+StepResult SaloEngine::run_step(const CompiledPlan& micro, const Matrix<float>& q_row,
+                                const Tensor3<float>& k, const Tensor3<float>& v,
+                                float scale, const RunOptions& options) const {
+    check_compatible(micro);
+    SALO_EXPECTS(micro.is_step());
+    const StepGeometry& sg = micro.step();
+    const int heads = q_row.rows();
+    const int d = micro.head_dim();
+    SALO_EXPECTS(heads >= 1);
+    SALO_EXPECTS(q_row.cols() == d);
+    SALO_EXPECTS(k.count() == heads && v.count() == heads);
+    SALO_EXPECTS(k.rows() == sg.compact_rows && v.rows() == sg.compact_rows);
+    SALO_EXPECTS(k.cols() == d && v.cols() == d);
+
+    const Fidelity fidelity = options.fidelity.value_or(config_.fidelity);
+    RunControl ctl_storage;
+    ctl_storage.cancel = options.cancel.cancellable() ? &options.cancel : nullptr;
+    ctl_storage.has_deadline = options.deadline.has_value();
+    if (options.deadline) ctl_storage.deadline = *options.deadline;
+    ctl_storage.fault = options.fault_injector != nullptr ? options.fault_injector
+                                                          : config_.fault_injector.get();
+    const RunControl* ctl = ctl_storage.active() ? &ctl_storage : nullptr;
+
+    StepResult result;
+    result.position = sg.position;
+    result.output = Tensor3<float>(heads, 1, d);
+
+    const int threads =
+        options.thread_budget <= 0 ? config_.effective_threads() : options.thread_budget;
+    std::vector<HeadResult> head_results(static_cast<std::size_t>(heads));
+    if (threads > 1 && heads > 1) {
+        // Heads are independent; a step's per-head tile loop is tiny, so a
+        // head is the only sensible work quantum.
+        pool().parallel_for(heads, [&](int h, int) {
+            head_results[static_cast<std::size_t>(h)] =
+                run_step_head(micro, q_row, h, k[h], v[h], scale, fidelity, ctl);
+        });
+    } else {
+        for (int h = 0; h < heads; ++h)
+            head_results[static_cast<std::size_t>(h)] =
+                run_step_head(micro, q_row, h, k[h], v[h], scale, fidelity, ctl);
+    }
+
+    for (int h = 0; h < heads; ++h) {
+        result.output[h] = std::move(head_results[static_cast<std::size_t>(h)].output);
+        result.stats += head_results[static_cast<std::size_t>(h)].stats;
+    }
     return result;
 }
 

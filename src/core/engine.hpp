@@ -64,6 +64,14 @@ struct LayerResult {
     ScheduleStats schedule; ///< the (head-independent) schedule statistics
 };
 
+/// One decode step's output: the attention row of the newly appended
+/// position, per head (run_step).
+struct StepResult {
+    Tensor3<float> output;  ///< [heads][1][head_dim]
+    SimStats stats;         ///< summed over heads
+    int position = 0;       ///< query row in the full sequence
+};
+
 /// Per-run robustness controls (all optional; the zero-value runs exactly
 /// like the plain overloads). Checked at tile boundaries, so an in-flight
 /// run stops early on cancellation or deadline expiry by throwing the
@@ -133,6 +141,27 @@ public:
                     const Tensor3<float>& k, const Tensor3<float>& v, float scale,
                     const RunOptions& options) const;
 
+    // --- Incremental decode API --------------------------------------------
+
+    /// The decode micro-plan for the last row of `pattern` (a prefix
+    /// pattern: n = prefix length, step position = n - 1), resolved through
+    /// the engine's PlanCache — the full plan is compiled at most once per
+    /// shape and every step derivation is cached under its own
+    /// step_plan_fingerprint key. Requires decode_compatible(pattern).
+    CompiledPlanPtr compile_step(const HybridPattern& pattern, int head_dim) const;
+
+    /// Execute one decode step: query row `position` of the micro-plan's
+    /// pattern against the compact K/V layout DecodeState::assemble()
+    /// produces. `q_row` is heads x head_dim (one query row per head);
+    /// `k`/`v` are [heads][compact_rows][head_dim]. Bit-identical to row
+    /// `position` of run() over the full prefix at the same fidelity:
+    /// the micro-plan replays exactly the tiles/parts the full schedule
+    /// emits for that row, in the same order, through the same integer
+    /// datapath. Robustness hooks behave as in run().
+    StepResult run_step(const CompiledPlan& micro, const Matrix<float>& q_row,
+                        const Tensor3<float>& k, const Tensor3<float>& v, float scale,
+                        const RunOptions& options = {}) const;
+
     /// Cumulative statistics of the internal PlanCache serving compile()
     /// and the legacy shims.
     PlanCacheStats plan_cache_stats() const;
@@ -156,7 +185,8 @@ public:
                                 const Matrix<float>& k, const Matrix<float>& v, float scale);
 
 private:
-    friend class SaloSession;  ///< batches requests onto the engine's pool
+    friend class SaloSession;    ///< batches requests onto the engine's pool
+    friend class DecodeSession;  ///< batches decode steps onto the engine's pool
 
     /// Resolved robustness hooks for one run; null pointer = none active,
     /// which keeps the hot path free of per-tile clock reads and atomics.
@@ -226,6 +256,13 @@ private:
                                  const Matrix<std::int8_t>& vq,
                                  ParallelWorkspace& ws,
                                  const RunControl* ctl = nullptr) const;
+
+    /// One head of one decode step (sequential tile loop; micro-plans are
+    /// a handful of tiles, so there is nothing to fork over inside a head).
+    HeadResult run_step_head(const CompiledPlan& micro, const Matrix<float>& q_row,
+                             int head, const Matrix<float>& k, const Matrix<float>& v,
+                             float scale, Fidelity fidelity,
+                             const RunControl* ctl) const;
 
     /// The persistent worker pool (built on first use, sized num_threads).
     ThreadPool& pool() const;

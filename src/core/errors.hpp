@@ -69,4 +69,15 @@ public:
     explicit EngineFault(const std::string& what) : SaloError(what) {}
 };
 
+/// A decode stream lost its per-stream K/V state (core/decode_session.hpp):
+/// its pinned shard was quarantined, or an earlier step of the stream failed
+/// and broke the strictly-ordered append log. The state never migrates
+/// silently — the caller must open a new stream and re-prefill. Delivered
+/// through the failing step's future and through every later step() on the
+/// same stream.
+class StreamEvicted : public SaloError {
+public:
+    explicit StreamEvicted(const std::string& what) : SaloError(what) {}
+};
+
 }  // namespace salo

@@ -20,7 +20,10 @@ void PlanCache::attach_shared_store(std::shared_ptr<PlanCache> store) {
 }
 
 bool PlanCache::matches(const CompiledPlan& cached, const HybridPattern& pattern,
-                        int head_dim, const SaloConfig& config) const {
+                        int head_dim, const SaloConfig& config,
+                        std::optional<int> step_position) const {
+    if (cached.is_step() != step_position.has_value()) return false;
+    if (step_position && cached.step().position != *step_position) return false;
     return cached.head_dim() == head_dim && cached.geometry() == config.geometry &&
            cached.options() == config.schedule_options && cached.pattern() == pattern;
 }
@@ -86,6 +89,68 @@ CompiledPlanPtr PlanCache::get_or_compile(const HybridPattern& pattern, int head
     return fresh;
 }
 
+CompiledPlanPtr PlanCache::get_or_derive_step(const HybridPattern& pattern, int head_dim,
+                                              const SaloConfig& config) {
+    SALO_EXPECTS(decode_compatible(pattern));
+    const int position = pattern.n() - 1;
+    const std::uint64_t full_key =
+        plan_fingerprint(pattern, head_dim, config.geometry, config.schedule_options);
+    const std::uint64_t key = step_plan_fingerprint(full_key, position);
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        const auto it = by_key_.find(key);
+        if (it != by_key_.end() &&
+            matches(**it->second, pattern, head_dim, config, position)) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+            return *it->second;
+        }
+        if (inflight_.count(key) == 0) break;  // become the deriving leader
+        cv_compiled_.wait(lock);
+    }
+
+    ++misses_;
+    inflight_.insert(key);
+    const std::shared_ptr<PlanCache> shared = shared_;
+    lock.unlock();
+
+    // Resolve outside the lock. The full plan goes through get_or_compile —
+    // self-recursion on a different key while unlocked — so all steps of
+    // one shape amortize a single scheduler pass, and the full plan stays
+    // cached for whole-sequence traffic. With a shared store, the store
+    // both compiles and derives tier-wide-once.
+    CompiledPlanPtr fresh;
+    try {
+        if (shared) {
+            fresh = shared->get_or_derive_step(pattern, head_dim, config);
+        } else {
+            const CompiledPlanPtr full = get_or_compile(pattern, head_dim, config);
+            fresh = derive_micro_plan_shared(*full);
+        }
+    } catch (...) {
+        lock.lock();
+        inflight_.erase(key);
+        cv_compiled_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    if (shared) {
+        ++shared_resolved_;
+    } else {
+        ++step_derives_;
+    }
+    inflight_.erase(key);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        lru_.erase(it->second);
+        by_key_.erase(it);
+    }
+    insert_locked(fresh);
+    cv_compiled_.notify_all();
+    return fresh;
+}
+
 void PlanCache::insert_locked(CompiledPlanPtr plan) {
     lru_.push_front(std::move(plan));
     by_key_[lru_.front()->fingerprint()] = lru_.begin();
@@ -108,6 +173,7 @@ PlanCacheStats PlanCache::stats() const {
     s.hits = hits_;
     s.misses = misses_;
     s.compiles = compiles_;
+    s.step_derives = step_derives_;
     s.shared_resolved = shared_resolved_;
     s.evictions = evictions_;
     s.size = lru_.size();

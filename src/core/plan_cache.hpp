@@ -35,6 +35,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -46,6 +47,9 @@ struct PlanCacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;      ///< includes fingerprint collisions
     std::uint64_t compiles = 0;    ///< scheduler passes run by THIS cache
+    /// Decode micro-plan derivations run by THIS cache (get_or_derive_step
+    /// misses resolved locally; like compiles, 0 with a shared store).
+    std::uint64_t step_derives = 0;
     /// Of misses: resolved by the attached shared store (no local compile).
     std::uint64_t shared_resolved = 0;
     std::uint64_t evictions = 0;   ///< LRU capacity evictions
@@ -72,6 +76,16 @@ public:
     CompiledPlanPtr get_or_compile(const HybridPattern& pattern, int head_dim,
                                    const SaloConfig& config);
 
+    /// The decode micro-plan for the last row of `pattern` (a prefix
+    /// pattern of length L; the step position is L-1). A miss resolves the
+    /// full plan through get_or_compile (so full and micro plans share this
+    /// cache and the tier-wide dedup) and derives the micro-plan from it.
+    /// The step key is step_plan_fingerprint(full key, position) — a
+    /// distinct type tag, so micro-plans never alias full plans in one
+    /// cache. Never returns null.
+    CompiledPlanPtr get_or_derive_step(const HybridPattern& pattern, int head_dim,
+                                       const SaloConfig& config);
+
     /// Route this cache's misses through `store` (tier-wide compile dedup).
     /// Passing nullptr detaches. Not thread-safe against concurrent
     /// get_or_compile — attach at wiring time, before traffic.
@@ -88,8 +102,12 @@ private:
     /// Most-recently-used at the front.
     using LruList = std::list<CompiledPlanPtr>;
 
+    /// `step_position` set: the lookup wants a micro-plan for that query
+    /// position; unset: it wants a full plan. A cached entry of the other
+    /// kind never matches, even on a fingerprint collision.
     bool matches(const CompiledPlan& cached, const HybridPattern& pattern, int head_dim,
-                 const SaloConfig& config) const;
+                 const SaloConfig& config,
+                 std::optional<int> step_position = std::nullopt) const;
     void insert_locked(CompiledPlanPtr plan);
 
     mutable std::mutex m_;
@@ -103,6 +121,7 @@ private:
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t compiles_ = 0;
+    std::uint64_t step_derives_ = 0;
     std::uint64_t shared_resolved_ = 0;
     std::uint64_t evictions_ = 0;
 };

@@ -5,7 +5,8 @@
 // pulls in the pattern builders (Longformer / ViL / Star-Transformer /
 // Sparse-Transformer), the data scheduler, the compile -> cache -> run
 // lifecycle (CompiledPlan / PlanCache / SaloEngine), the SaloSession
-// request-serving front end, and the analytic performance models. See
+// request-serving front end, the DecodeSession streaming-decode tier,
+// and the analytic performance models. See
 // docs/API.md for the lifecycle and the migration from the legacy
 // one-shot calls.
 #pragma once
@@ -17,6 +18,7 @@
 #include "core/cancellation.hpp"
 #include "core/compiled_plan.hpp"
 #include "core/config.hpp"
+#include "core/decode_session.hpp"
 #include "core/engine.hpp"
 #include "core/errors.hpp"
 #include "core/health.hpp"

@@ -377,6 +377,10 @@ void SaloSession::close() {
             SALO_DEBUG_ASSERT(completed_ + failed_ + rejected_ + timed_out_ +
                                   cancelled_ ==
                               submitted_);
+            // Whole-sequence sessions serve no decode steps; the steps
+            // counter exists so decode tiers (core/decode_session.hpp) can
+            // assert steps == submitted at their own close().
+            SALO_DEBUG_ASSERT(stats_steps_ == 0);
         }
 #endif
     }
@@ -394,6 +398,7 @@ SessionStats SaloSession::stats() const {
     s.shed_expired = shed_expired_;
     s.batches = batches_;
     s.max_batch = max_batch_seen_;
+    s.steps = stats_steps_;
     s.plan_cache = engine_.plan_cache_stats();
     return s;
 }

@@ -138,6 +138,14 @@ struct SessionStats {
     std::uint64_t quarantined_shard_events = 0;   ///< breaker healthy -> quarantined
     std::uint64_t reintegrated_shard_events = 0;  ///< breaker probing -> healthy
 
+    // Decode-tier counters (core/decode_session.hpp); always 0 on the
+    // whole-sequence sessions. `steps` counts accepted stream steps, so the
+    // conservation law distinguishes incremental decode traffic (where
+    // every submission is a step: steps == submitted) from whole-sequence
+    // requests (steps == 0).
+    std::uint64_t steps = 0;            ///< accepted decode stream steps
+    std::uint64_t evicted_streams = 0;  ///< streams lost to quarantine/failed steps
+
     /// Every accepted submit() resolves exactly one way; this is the
     /// conservation law tests assert.
     std::uint64_t accounted() const {
@@ -158,6 +166,9 @@ struct TenantStats {
     std::uint64_t cancelled = 0;
     std::uint64_t retried = 0;    ///< extra attempts billed to this tenant's deficit
     std::uint64_t failed_over = 0;
+    /// Of submitted: decode stream steps (core/decode_session.hpp). 0 for
+    /// whole-sequence traffic; == submitted on a pure decode tier.
+    std::uint64_t steps = 0;
 
     std::uint64_t accounted() const {
         return completed + failed + rejected + timed_out + cancelled;
@@ -249,6 +260,10 @@ private:
     std::uint64_t shed_expired_ = 0;
     std::uint64_t batches_ = 0;
     std::size_t max_batch_seen_ = 0;
+    /// Decode steps served by this session: always 0 (SaloSession has no
+    /// step path); reported through stats() and asserted at close() so the
+    /// conservation law separates steps from whole-sequence requests.
+    std::uint64_t stats_steps_ = 0;
 
     std::thread dispatcher_;  ///< last member: joined by close()
 };

@@ -189,6 +189,19 @@ HybridPattern sparse_transformer_fixed(int n, int l) {
     return HybridPattern(n, {Band{-(l - 1), 2 * l - 1, 1, 0}}, std::move(globals));
 }
 
+bool is_causal(const std::vector<Band>& bands) {
+    for (const Band& b : bands)
+        if (b.hi() > 0) return false;
+    return true;
+}
+
+int decode_window_span(const std::vector<Band>& bands) {
+    SALO_EXPECTS(is_causal(bands));
+    int span = 1;  // position t always needs its own row
+    for (const Band& b : bands) span = std::max(span, 1 - b.lo);
+    return span;
+}
+
 HybridPattern vil_2d(int grid_h, int grid_w, int win_h, int win_w, int num_global) {
     SALO_EXPECTS(grid_h >= 1 && grid_w >= 1);
     SALO_EXPECTS(win_h >= 1 && win_w >= 1);

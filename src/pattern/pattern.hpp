@@ -139,4 +139,19 @@ HybridPattern sparse_transformer_fixed(int n, int l);
 /// band at dy*W, and the dy offsets map onto SALO's dilated-window support.
 HybridPattern vil_2d(int grid_h, int grid_w, int win_h, int win_w, int num_global = 1);
 
+// ---------------------------------------------------------------------------
+// Streaming-decode helpers (core/compiled_plan.hpp: derive_micro_plan).
+// ---------------------------------------------------------------------------
+
+/// True iff every band is causal (hi() <= 0): no offset ever looks ahead of
+/// the query. A causal band set is the precondition for incremental decode —
+/// appending position t can only reference keys <= t.
+bool is_causal(const std::vector<Band>& bands);
+
+/// Ring-buffer span a decode stream must retain for these bands: the last
+/// `decode_window_span` positions cover every causal window offset of any
+/// future step. 1 + max over bands of -lo; 1 (the query's own row) when the
+/// band list is empty. Precondition: is_causal(bands).
+int decode_window_span(const std::vector<Band>& bands);
+
 }  // namespace salo

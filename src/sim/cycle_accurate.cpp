@@ -25,7 +25,9 @@ CycleBreakdown CycleAccurateArray::run(const TileTask& tile, std::vector<TilePar
     const int rows = tile.rows();
     const int cols = tile.cols();
     const int d = q_->cols();
-    const int nn = q_->rows();
+    // Keys index K/V, whose row count differs from q's in the decode-step
+    // path (one query row against the compact K/V layout).
+    const int nn = k_->rows();
     const int cu = std::max(1, tile.cols_used());
     SALO_EXPECTS(rows == geometry_.rows && cols == geometry_.cols);
 

@@ -29,7 +29,9 @@ void TileExecutor::run(const TileTask& tile, PartArena& arena, ActivityStats& ac
     const int rows = tile.rows();
     const int cols = tile.cols();
     const int d = q_->cols();
-    const int nn = n();
+    // Keys index K/V, whose row count differs from q's in the decode-step
+    // path (one query row against the compact K/V layout).
+    const int nn = k_->rows();
     const std::int8_t* qbase = q_->data().data();
     const std::int8_t* kbase = k_->data().data();
     const std::uint8_t* valid = tile.valid.data();
@@ -129,7 +131,7 @@ void TileExecutor::run(const TileTask& tile, std::vector<TilePart>& parts,
                        ActivityStats& activity) const {
     const int rows = tile.rows();
     const int cols = tile.cols();
-    const int nn = n();
+    const int nn = k_->rows();
 
     std::vector<ScoreRaw> scores;
     std::vector<int> keys;
